@@ -1,0 +1,61 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (Sec. 8). Results are printed and also written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output
+capture. Runs are cached within a session so benchmarks that share
+experiments (e.g., Fig. 13/14/15) do not repeat simulations.
+
+``REPRO_BENCH_SCALE`` multiplies the per-input default scales (raise it
+for higher-fidelity, slower runs).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pathlib
+
+from repro.config import SystemConfig
+from repro.harness import prepare_input, run_experiment
+from repro.harness.run import APP_INPUTS, default_scale
+
+SCALE_MULT = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+ALL_APPS = ("bfs", "cc", "prd", "radii", "spmm", "silo")
+# One representative input per app for the expensive sweeps.
+REPRESENTATIVE = {"bfs": "In", "cc": "Hu", "prd": "Ci", "radii": "Dy",
+                  "spmm": "FS", "silo": "YC"}
+
+
+def app_inputs(app: str):
+    return APP_INPUTS[app]
+
+
+@functools.lru_cache(maxsize=None)
+def prepared(app: str, code: str):
+    return prepare_input(app, code,
+                         scale=default_scale(app, code) * SCALE_MULT)
+
+
+@functools.lru_cache(maxsize=None)
+def experiment(app: str, code: str, system: str, variant: str = "decoupled",
+               queue_scale: float = 1.0, double_buffered: bool = True,
+               zero_cost: bool = False, policy: str = "most-work"):
+    config = SystemConfig()
+    config = config.replace(
+        queue_mem_bytes=max(256, int(config.queue_mem_bytes * queue_scale)),
+        double_buffered=double_buffered,
+        zero_cost_reconfig=zero_cost,
+        scheduler_policy=policy,
+    )
+    return run_experiment(app, code, system, prepared=prepared(app, code),
+                          variant=variant, config=config)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,58 @@
+"""Figure 14: breakdown of cycles spent executing each application.
+
+The paper reports CPI stacks (issued / backend-memory stalls / queue
+full-empty / reconfiguration / idle) for the serial OOO core (I), the
+OOO multicore (D), the static pipeline (S), and Fifer (F), normalized
+to the static pipeline. Expected shape (Sec. 8.2):
+
+* the OOO systems are dominated by backend (memory) stalls;
+* the static pipeline spends a significant fraction of time stalled on
+  full or empty queues;
+* Fifer converts most of that into useful work plus a small
+  reconfiguration share (largest in SpMM, the control-intensive app).
+"""
+
+from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from repro.harness import format_table
+
+_SYSTEMS = (("I", "serial"), ("D", "multicore"),
+            ("S", "static"), ("F", "fifer"))
+_BUCKETS = ("issued", "stall_mem", "queue", "reconfig", "idle")
+
+
+def _stack(app, code, system):
+    raw = experiment(app, code, system).raw
+    return raw.merged_cpi_stack()
+
+
+def run_fig14():
+    rows = []
+    fifer_queue_fraction = {}
+    static_queue_fraction = {}
+    for app in ALL_APPS:
+        code = REPRESENTATIVE[app]
+        static_total = sum(_stack(app, code, "static").values())
+        for label, system in _SYSTEMS:
+            stack = _stack(app, code, system)
+            total = sum(stack.values())
+            rows.append(
+                [app, label, f"{total / static_total:.2f}"]
+                + [f"{stack[b] / total:.2f}" for b in _BUCKETS])
+            if system == "fifer":
+                fifer_queue_fraction[app] = stack["queue"] / total
+            if system == "static":
+                static_queue_fraction[app] = stack["queue"] / total
+    table = format_table(
+        ["app", "sys", "norm. cycles"] + list(_BUCKETS), rows,
+        title=("Fig. 14: cycle breakdowns (normalized to the static "
+               "pipeline; fractions per bucket)"))
+    emit("fig14_cycle_breakdown", table)
+    return static_queue_fraction, fifer_queue_fraction
+
+
+def test_fig14_cycle_breakdown(benchmark):
+    static_q, fifer_q = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    # The static pipeline stalls on queues more than Fifer does for most
+    # apps (the paper's central utilization claim).
+    wins = sum(static_q[app] > fifer_q[app] for app in static_q)
+    assert wins >= len(static_q) // 2 + 1

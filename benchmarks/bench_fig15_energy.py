@@ -1,0 +1,60 @@
+"""Figure 15: breakdown of energy, normalized to the static pipeline.
+
+The paper reports dynamic memory energy, cache energy, compute energy,
+and leakage for the serial OOO (I), OOO multicore (D), static pipeline
+(S), and Fifer (F). Expected shape (Sec. 8.2):
+
+* the OOO systems suffer considerable leakage and high dynamic energy
+  per instruction;
+* the static pipeline achieves gmean ~12x better energy efficiency
+  than the OOO multicore;
+* Fifer reduces energy a further ~1.5x over the static pipeline
+  (mostly by finishing faster and cutting leakage), ~19x over the
+  4-core OOO.
+"""
+
+from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from repro.harness import format_table, gmean
+
+_SYSTEMS = (("I", "serial"), ("D", "multicore"),
+            ("S", "static"), ("F", "fifer"))
+_BUCKETS = ("memory", "caches", "compute", "leakage")
+
+
+def run_fig15():
+    rows = []
+    ratios_static_vs_multicore = []
+    ratios_fifer_vs_static = []
+    for app in ALL_APPS:
+        code = REPRESENTATIVE[app]
+        energies = {system: experiment(app, code, system).energy
+                    for _, system in _SYSTEMS}
+        totals = {s: sum(e.values()) for s, e in energies.items()}
+        for label, system in _SYSTEMS:
+            energy = energies[system]
+            total = totals[system]
+            rows.append([app, label, f"{total / totals['static']:.2f}"]
+                        + [f"{energy[b] / total:.2f}" for b in _BUCKETS])
+        ratios_static_vs_multicore.append(
+            totals["multicore"] / totals["static"])
+        ratios_fifer_vs_static.append(totals["static"] / totals["fifer"])
+    summary = format_table(
+        ["metric", "paper", "measured"],
+        [["static vs multicore energy (gmean)", "12x",
+          f"{gmean(ratios_static_vs_multicore):.1f}x"],
+         ["Fifer vs static energy (gmean)", "1.5x",
+          f"{gmean(ratios_fifer_vs_static):.2f}x"]],
+        title="Fig. 15 summary (paper vs. measured)")
+    table = format_table(
+        ["app", "sys", "norm. energy"] + list(_BUCKETS), rows,
+        title=("Fig. 15: energy breakdowns (normalized to the static "
+               "pipeline; fractions per bucket)"))
+    emit("fig15_energy", table + "\n\n" + summary)
+    return gmean(ratios_static_vs_multicore), gmean(ratios_fifer_vs_static)
+
+
+def test_fig15_energy(benchmark):
+    static_gain, fifer_gain = benchmark.pedantic(run_fig15, rounds=1,
+                                                 iterations=1)
+    assert static_gain > 2.0   # CGRAs are much more energy-efficient
+    assert fifer_gain > 1.0    # Fifer improves on the static pipeline

@@ -1,0 +1,52 @@
+"""Figure 16: sensitivity to queue size and double-buffered cells.
+
+The paper sweeps the per-PE queue memory from 1/4x to 4x of the default
+16 KB, with and without double-buffered configuration cells. Expected
+shape (Sec. 8.3):
+
+* BFS (and CC/PRD/Radii) lose performance with small queues —
+  insufficient decoupling;
+* SpMM is flat across queue sizes but loses ~a quarter of its
+  performance without double-buffering (control-intensive: it
+  reconfigures constantly);
+* larger queues make reconfigurations less frequent, so slow
+  reconfigurations matter less at large sizes.
+"""
+
+from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from repro.harness import format_table
+
+QUEUE_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def run_fig16():
+    rows = []
+    shapes = {}
+    for app in ALL_APPS:
+        code = REPRESENTATIVE[app]
+        base = experiment(app, code, "fifer").cycles
+        for double_buffered in (True, False):
+            speedups = []
+            for scale in QUEUE_SCALES:
+                cycles = experiment(app, code, "fifer", queue_scale=scale,
+                                    double_buffered=double_buffered).cycles
+                speedups.append(base / cycles)
+            label = "double-buf" if double_buffered else "single-buf"
+            rows.append([app, label]
+                        + [f"{s:.2f}" for s in speedups])
+            shapes[(app, double_buffered)] = speedups
+    table = format_table(
+        ["app", "config"] + [f"{s:g}x" for s in QUEUE_SCALES], rows,
+        title=("Fig. 16: Fifer speedup vs queue-memory scaling "
+               "(1x = app default), relative to the default "
+               "double-buffered configuration"))
+    emit("fig16_queue_sweep", table)
+    return shapes
+
+
+def test_fig16_queue_sweep(benchmark):
+    shapes = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    # BFS suffers with 1/4x queues (insufficient decoupling).
+    assert shapes[("bfs", True)][0] < 0.95
+    # Removing double-buffering never helps (same or slower at default).
+    assert shapes[("spmm", False)][2] <= shapes[("spmm", True)][2] + 1e-9

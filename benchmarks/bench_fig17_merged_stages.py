@@ -1,0 +1,71 @@
+"""Figure 17: performance of applications with merged stages.
+
+The paper compares the fully-decoupled pipelines against variants with
+judiciously merged stages (source-centric stages fused, coupled loads
+reintroduced), on both the static pipeline and Fifer. Expected shape
+(Sec. 8.4):
+
+* merging is much worse for the static BFS/CC pipelines (coupling
+  reintroduces stalls; the paper reports merged static BFS 4.4x slower);
+* SpMM's merged variant (one PE does the whole multiply for its rows)
+  wins on very sparse matrices like FS — the inputs that make
+  decoupled Fifer switch constantly — and loses on denser ones;
+* Silo degrades slightly when merged.
+"""
+
+from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from repro.harness import format_table
+
+# SpMM shows its crossover between sparse (FS) and dense (St) inputs.
+_CASES = [(app, REPRESENTATIVE[app]) for app in ALL_APPS]
+_CASES.insert(5, ("spmm", "St"))
+
+
+def run_fig17():
+    rows = []
+    ratios = {}
+    for app, code in _CASES:
+        base = experiment(app, code, "static").cycles
+        merged_static = experiment(app, code, "static",
+                                   variant="merged").cycles
+        fifer = experiment(app, code, "fifer").cycles
+        rows.append([f"{app}/{code}",
+                     "1.00",
+                     f"{base / merged_static:.2f}",
+                     f"{base / fifer:.2f}"])
+        ratios[(app, code)] = (base / merged_static, base / fifer)
+    table = format_table(
+        ["app/input", "decoupled static", "merged static", "Fifer"],
+        rows,
+        title=("Fig. 17: merged-stage pipelines, speedup relative to the "
+               "fully decoupled static pipeline"))
+
+    # Sec. 8.4's closing observation: Fifer picking the coupled pipeline
+    # for the inputs that benefit and the decoupled one otherwise is
+    # ~12% faster than always-decoupled Fifer across SpMM inputs.
+    from bench_common import app_inputs
+    from repro.harness import gmean
+    gains = []
+    for code in app_inputs("spmm"):
+        decoupled = experiment("spmm", code, "fifer").cycles
+        merged = experiment("spmm", code, "fifer", variant="merged").cycles
+        gains.append(decoupled / min(decoupled, merged))
+    adaptive = gmean(gains)
+    extra = format_table(
+        ["metric", "paper", "measured"],
+        [["adaptive Fifer vs decoupled Fifer (SpMM gmean)", "1.12x",
+          f"{adaptive:.2f}x"]],
+        title="Sec. 8.4: per-input best-variant selection")
+    emit("fig17_merged_stages", table + "\n\n" + extra)
+    ratios["adaptive"] = adaptive
+    return ratios
+
+
+def test_fig17_merged_stages(benchmark):
+    ratios = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    # Merging re-couples loads: merged static BFS is slower than
+    # decoupled static (paper: 4.4x slower).
+    assert ratios[("bfs", REPRESENTATIVE["bfs"])][0] < 1.0
+    # SpMM merged wins on the sparse FS input and loses on dense St.
+    assert ratios[("spmm", "FS")][0] > 1.0
+    assert ratios[("spmm", "St")][0] < 1.0

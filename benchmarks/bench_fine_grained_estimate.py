@@ -1,0 +1,67 @@
+"""Estimating the fine-grained time-multiplexing alternative (Sec. 2.3).
+
+The paper positions Fifer as the CGRA analog of *coarse-grained*
+multithreading, against Triggered Instructions' cycle-level switching
+(the FGMT analog), and argues TI's flexibility needs substantially more
+hardware per PE. This benchmark brackets what cycle-level switching
+could buy, using two configurations expressible in this model:
+
+* **upper bound** — zero-cost reconfiguration with the full fabric per
+  stage: switching is free and each stage still fills the array. Real
+  fine-grained hardware cannot beat this.
+* **space-shared estimate** — zero-cost switching but each stage only
+  gets a quarter of the fabric's SIMD replication, reflecting that a
+  TI-style PE holds all resident operations at once rather than
+  reconfiguring the whole array per stage.
+
+The paper's conclusion (Sec. 8.3) — that even free reconfiguration buys
+only ~10% — is what makes coarse-grained switching the right tradeoff;
+this benchmark reproduces that bracket per application.
+"""
+
+from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from repro.harness import format_table, gmean
+
+
+def run_fine_grained():
+    rows = []
+    upper_bounds = []
+    shared = []
+    for app in ALL_APPS:
+        code = REPRESENTATIVE[app]
+        fifer = experiment(app, code, "fifer").cycles
+        free = experiment(app, code, "fifer", zero_cost=True).cycles
+        # Zero-cost switching with a quarter of the per-stage SIMD width.
+        from repro.config import SystemConfig
+        from repro.harness.run import run_experiment
+        from bench_common import prepared
+        config = SystemConfig(zero_cost_reconfig=True,
+                              max_simd_replication=2)
+        if app == "silo":
+            from repro.workloads.silo import recommended_config
+            config = recommended_config(config)
+        quarter = run_experiment(app, code, "fifer",
+                                 prepared=prepared(app, code),
+                                 config=config).cycles
+        rows.append([app, f"{fifer / free:.2f}x", f"{fifer / quarter:.2f}x"])
+        upper_bounds.append(fifer / free)
+        shared.append(fifer / quarter)
+    rows.append(["gmean", f"{gmean(upper_bounds):.2f}x",
+                 f"{gmean(shared):.2f}x"])
+    table = format_table(
+        ["app", "free switching, full fabric (upper bound)",
+         "free switching, shared fabric"],
+        rows,
+        title=("Sec. 2.3 bracket: what cycle-level time-multiplexing "
+               "could buy over Fifer (values > 1 favor fine-grained)"))
+    emit("fine_grained_estimate", table)
+    return gmean(upper_bounds), gmean(shared)
+
+
+def test_fine_grained_estimate(benchmark):
+    upper, shared = benchmark.pedantic(run_fine_grained, rounds=1,
+                                       iterations=1)
+    # Even the unbeatable upper bound gains only modestly over Fifer...
+    assert upper < 1.5
+    # ...and paying for it with fabric sharing erases (or inverts) it.
+    assert shared < upper

@@ -1,0 +1,50 @@
+"""SIMD datapath-replication ablation (paper Sec. 5.6).
+
+The paper exploits SIMD-style parallelism within a PE by replicating a
+stage's datapath across unused fabric columns ("a 16x5 grid ... can be
+configured as four copies of a datapath that fit on a smaller 4x5 grid,
+yielding a potential 4x throughput improvement"). This benchmark caps
+the replication factor at 1/2/4/unbounded and reports Fifer's
+performance, quantifying how much of its throughput comes from filling
+the fabric.
+"""
+
+from bench_common import emit, experiment, prepared
+from repro.config import SystemConfig
+from repro.harness import format_table
+from repro.harness.run import run_experiment
+
+CAPS = (1, 2, 4, None)
+
+
+def _run(app, code, cap):
+    config = SystemConfig(max_simd_replication=cap)
+    return run_experiment(app, code, "fifer", prepared=prepared(app, code),
+                          config=config).cycles
+
+
+def run_simd_ablation():
+    rows = []
+    gains = {}
+    for app, code in (("bfs", "In"), ("cc", "Hu"), ("spmm", "GE")):
+        base = _run(app, code, None)
+        speedups = [base / _run(app, code, cap) for cap in CAPS]
+        rows.append([f"{app}/{code}"]
+                    + [f"{s:.2f}" for s in speedups])
+        gains[app] = speedups
+    table = format_table(
+        ["app"] + [str(c or "unbounded") for c in CAPS], rows,
+        title=("SIMD replication ablation: Fifer performance vs the "
+               "replication cap (1.0 = unbounded)"))
+    emit("simd_ablation", table)
+    return gains
+
+
+def test_simd_ablation(benchmark):
+    gains = benchmark.pedantic(run_simd_ablation, rounds=1, iterations=1)
+    for app, speedups in gains.items():
+        # No SIMD replication costs real performance...
+        assert speedups[0] < 0.95, (app, speedups)
+        # ...and more replication never hurts (monotone within noise).
+        assert speedups[0] <= speedups[2] + 0.05
+        assert abs(speedups[3] - 1.0) < 1e-9

@@ -1,0 +1,31 @@
+"""Table 1: implementation costs for major components of a Fifer PE.
+
+The paper synthesizes the PE components (Yosys + FreePDK45 at 2 GHz,
+CACTI for memory arrays); this repository reproduces the published
+area table and the derived provisioning rule (each PE is 4.6% of an
+OOO core, hence 4 PEs per core in the evaluation).
+"""
+
+from bench_common import emit
+from repro.energy import PE_AREA_BREAKDOWN_MM2, pe_area_mm2, ooo_core_area_mm2
+from repro.energy.area import PE_FRACTION_OF_CORE
+from repro.harness import format_table
+
+
+def run_table1():
+    rows = [[name.replace("_", " "), f"{area:.4f}"]
+            for name, area in PE_AREA_BREAKDOWN_MM2.items()]
+    rows.append(["total area (per PE)", f"{pe_area_mm2():.2f}"])
+    rows.append(["implied OOO core area",
+                 f"{ooo_core_area_mm2():.1f}"])
+    table = format_table(["item", "area (mm^2)"], rows,
+                         title="Table 1: per-PE implementation costs (45 nm)")
+    emit("table1_area", table)
+    return pe_area_mm2()
+
+
+def test_table1_area(benchmark):
+    total = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    assert abs(total - 1.34) < 0.01   # paper: 1.34 mm^2 per PE
+    assert abs(pe_area_mm2() / ooo_core_area_mm2()
+               - PE_FRACTION_OF_CORE) < 1e-9

@@ -1,0 +1,6 @@
+"""Make the shared benchmark helpers importable and configure pytest."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

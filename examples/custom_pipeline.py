@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Building a custom pipeline with the public API.
+
+This example constructs a new irregular application from scratch — a
+gather-and-histogram kernel (for each index i in a stream, fetch
+``values[indices[i]]`` and add it into one of 16 histogram bins) —
+following the paper's recipe (Sec. 4/5):
+
+1. split the program at every long-latency load: one stage generates
+   gather addresses (fed by a scanning DRM over the index stream), a
+   dereference DRM performs the irregular gather, and a second stage
+   accumulates into the histogram;
+2. describe each stage's datapath as a dataflow graph (for the mapping:
+   pipeline depth, SIMD replication, configuration size);
+3. write the stage semantics as coroutines over queues;
+4. time-multiplex both stages on a single Fifer PE.
+
+Run:  python examples/custom_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (DRMSpec, PEProgram, Program, StageSpec, System,
+                   SystemConfig, STOP_VALUE)
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+
+N_BINS = 16
+
+
+def build_program(indices, values):
+    space = AddressSpace()
+    memmap = MemoryMap()
+    idx_ref = space.alloc_array("indices", len(indices))
+    val_ref = space.alloc_array("values", len(values))
+    memmap.register(idx_ref, indices)
+    memmap.register(val_ref, values)
+    histogram = np.zeros(N_BINS, dtype=np.int64)
+    hist_ref = space.alloc_array("histogram", N_BINS)
+    memmap.register(hist_ref, histogram)
+
+    # Stage 1: generate gather addresses from streamed indices.
+    b = DFGBuilder("gather.addr")
+    index = b.deq("gather.idx_out")
+    base = b.const(val_ref.base)
+    addr = b.lea(base, index)
+    b.enq("gather.val_in", addr)
+    b.enq("gather.idx_in", index)
+    addr_dfg = b.finish()
+
+    def addr_semantics(ctx):
+        start = idx_ref.addr(0)
+        yield from ctx.enq("gather.idx_in", (start, start + len(indices) * 8))
+        for _ in range(len(indices)):
+            token = yield from ctx.deq("gather.idx_out")
+            yield from ctx.enq("gather.val_in",
+                               (val_ref.addr(int(token.value)),
+                                int(token.value)))
+        yield from ctx.enq("gather.val_in", STOP_VALUE, is_control=True)
+
+    # Stage 2: accumulate gathered values into bins.
+    b = DFGBuilder("gather.accumulate")
+    token = b.deq("gather.val_out")
+    index = b.ctrl(token)
+    mask = b.const(N_BINS - 1)
+    bin_id = b.and_(index, mask)
+    hist_base = b.const(hist_ref.base)
+    slot = b.lea(hist_base, bin_id)
+    old = b.load(slot)
+    b.store(slot, b.add(old, token))
+    acc_dfg = b.finish()
+
+    def acc_semantics(ctx):
+        while True:
+            token = yield from ctx.deq("gather.val_out")
+            if token.is_control:
+                return
+            value, index = token.value
+            bin_id = int(index) % N_BINS
+            histogram[bin_id] += int(value)
+            yield from ctx.load(hist_ref.addr(bin_id))
+            yield from ctx.store(hist_ref.addr(bin_id))
+
+    pe0 = PEProgram(
+        shard=0,
+        queue_specs=[
+            QueueSpec("gather.idx_in", entry_words=2),
+            QueueSpec("gather.idx_out"),
+            QueueSpec("gather.val_in", entry_words=2, weight=2.0),
+            QueueSpec("gather.val_out", entry_words=2, weight=2.0),
+        ],
+        stage_specs=[
+            StageSpec("gather.addr", addr_dfg, addr_semantics),
+            StageSpec("gather.accumulate", acc_dfg, acc_semantics),
+        ],
+        drm_specs=[
+            DRMSpec("gather.drm_idx", "scan",
+                    in_queue="gather.idx_in", out_queue="gather.idx_out"),
+            DRMSpec("gather.drm_val", "deref",
+                    in_queue="gather.val_in", out_queue="gather.val_out",
+                    payload=True),
+        ],
+    )
+    program = Program("gather-histogram", [pe0], space, memmap,
+                      result_fn=lambda: histogram.copy())
+    return program
+
+
+def main():
+    rng = np.random.default_rng(3)
+    n = 20_000
+    values = rng.integers(0, 1000, size=n).astype(np.int64)
+    indices = rng.integers(0, n, size=8_000).astype(np.int64)
+
+    golden = np.zeros(N_BINS, dtype=np.int64)
+    for i in indices:
+        golden[int(i) % N_BINS] += int(values[i])
+
+    config = SystemConfig(n_pes=1)
+    program = build_program(indices, values)
+    result = System(config, program, mode="fifer").run()
+    assert np.array_equal(result.result, golden), "histogram mismatch!"
+
+    print(f"gather-histogram over {len(indices)} irregular gathers: "
+          f"{result.cycles:,.0f} cycles on one Fifer PE (verified)")
+    print(f"stage residence: {result.avg_residence_cycles:.0f} cycles, "
+          f"reconfiguration: {result.avg_reconfig_cycles:.1f} cycles")
+    mapping = result.mappings["gather.addr"]
+    print(f"address stage mapping: {mapping.n_levels} levels, "
+          f"{mapping.replication}x SIMD replication, "
+          f"{mapping.config_bytes}-byte configuration")
+    print("histogram:", result.result.tolist())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""A sorted-merge database join built from the public API.
+
+The paper notes that SpMM's merge-intersection "also manifests in other
+applications, like database joins" (Sec. 7.2). This example builds a
+two-table equi-join as a Fifer pipeline: two producer stages stream the
+sorted join-key columns through scanning DRMs, a merge stage intersects
+them, and matching keys are dereferenced into the payload columns. The
+address-generation stage is written in the pseudo-assembly dialect of
+paper Fig. 6 (``repro.ir.parse_stage_asm``) to show the textual
+frontend.
+
+Run:  python examples/database_join.py
+"""
+
+import numpy as np
+
+from repro import (DRMSpec, PEProgram, Program, StageSpec, System,
+                   SystemConfig, STOP_VALUE)
+from repro.ir import DFGBuilder, parse_stage_asm
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+
+MERGE_ASM = """
+; merge-intersect over two sorted key streams (cf. paper Fig. 6 style)
+deq   %ka,   $join.a_keys
+deq   %kb,   $join.b_keys
+cmplt %lt,   %ka, %kb
+cmpeq %eq,   %ka, %kb
+mov   %base, 0
+lea   %addr, %base, %ka
+enq   $join.vals_in, %addr
+enq   $join.vals_in, %ka
+"""
+
+
+def build_join_program(keys_a, vals_a, keys_b, vals_b):
+    space = AddressSpace()
+    memmap = MemoryMap()
+    refs = {}
+    for name, array in (("keys_a", keys_a), ("vals_a", vals_a),
+                        ("keys_b", keys_b), ("vals_b", vals_b)):
+        refs[name] = space.alloc_array(name, len(array))
+        memmap.register(refs[name], array)
+    joined = []
+
+    def scan_stage(table, ref, n):
+        def run(ctx):
+            start = ref.addr(0)
+            yield from ctx.enq(f"join.{table}_in", (start, start + n * 8))
+            for _ in range(n):
+                token = yield from ctx.deq(f"join.{table}_out")
+                yield from ctx.enq(f"join.{table}_keys", int(token.value))
+            yield from ctx.enq(f"join.{table}_keys", STOP_VALUE,
+                               is_control=True)
+
+        b = DFGBuilder(f"join.scan_{table}")
+        key = b.deq(f"join.{table}_out")
+        b.enq(f"join.{table}_keys", key)
+        b.enq(f"join.{table}_in", key)
+        return StageSpec(f"join.scan_{table}", b.finish(), run)
+
+    def merge_semantics(ctx):
+        """Advance the smaller key; on a match, emit the value addresses
+        (positions tracked as the streams advance)."""
+        pa = pb = 0
+        a = yield from ctx.deq("join.a_keys")
+        b = yield from ctx.deq("join.b_keys")
+        while not (a.is_control or b.is_control):
+            ka, kb = int(a.value), int(b.value)
+            if ka == kb:
+                yield from ctx.enq(
+                    "join.vals_in",
+                    (refs["vals_a"].addr(pa), refs["vals_b"].addr(pb), ka))
+                a = yield from ctx.deq("join.a_keys")
+                pa += 1
+                b = yield from ctx.deq("join.b_keys")
+                pb += 1
+            elif ka < kb:
+                a = yield from ctx.deq("join.a_keys")
+                pa += 1
+            else:
+                b = yield from ctx.deq("join.b_keys")
+                pb += 1
+        while not a.is_control:
+            a = yield from ctx.deq("join.a_keys")
+        while not b.is_control:
+            b = yield from ctx.deq("join.b_keys")
+        yield from ctx.enq("join.vals_in", STOP_VALUE, is_control=True)
+
+    def emit_semantics(ctx):
+        while True:
+            token = yield from ctx.deq("join.vals_out")
+            if token.is_control:
+                return
+            va, vb, key = token.value
+            joined.append((int(key), int(va), int(vb)))
+
+    b = DFGBuilder("join.emit")
+    token = b.deq("join.vals_out")
+    b.add(token, token)
+    emit_dfg = b.finish()
+
+    pe0 = PEProgram(
+        shard=0,
+        queue_specs=[
+            QueueSpec("join.a_in", entry_words=2),
+            QueueSpec("join.a_out"),
+            QueueSpec("join.a_keys", weight=2.0),
+            QueueSpec("join.b_in", entry_words=2),
+            QueueSpec("join.b_out"),
+            QueueSpec("join.b_keys", weight=2.0),
+            QueueSpec("join.vals_in", entry_words=3, weight=2.0),
+            QueueSpec("join.vals_out", entry_words=3, weight=2.0),
+        ],
+        stage_specs=[
+            scan_stage("a", refs["keys_a"], len(keys_a)),
+            scan_stage("b", refs["keys_b"], len(keys_b)),
+            StageSpec("join.merge", parse_stage_asm("join.merge", MERGE_ASM),
+                      merge_semantics),
+            StageSpec("join.emit", emit_dfg, emit_semantics),
+        ],
+        drm_specs=[
+            DRMSpec("join.drm_a", "scan", in_queue="join.a_in",
+                    out_queue="join.a_out"),
+            DRMSpec("join.drm_b", "scan", in_queue="join.b_in",
+                    out_queue="join.b_out"),
+            DRMSpec("join.drm_vals", "deref", in_queue="join.vals_in",
+                    out_queue="join.vals_out", width=2, payload=True),
+        ],
+    )
+    return Program("sorted-merge-join", [pe0], space, memmap,
+                   result_fn=lambda: sorted(joined)), joined
+
+
+def main():
+    rng = np.random.default_rng(4)
+    keys_a = np.sort(rng.choice(50_000, size=6_000, replace=False))
+    keys_b = np.sort(rng.choice(50_000, size=6_000, replace=False))
+    vals_a = keys_a * 3
+    vals_b = keys_b * 7
+    golden = sorted(
+        (int(k), int(k) * 3, int(k) * 7)
+        for k in np.intersect1d(keys_a, keys_b))
+
+    program, _ = build_join_program(keys_a.astype(np.int64), vals_a,
+                                    keys_b.astype(np.int64), vals_b)
+    config = SystemConfig(n_pes=1)
+    result = System(config, program, mode="fifer").run()
+    assert result.result == golden, "join output mismatch!"
+
+    print(f"sorted-merge join: |A|={len(keys_a)}, |B|={len(keys_b)}, "
+          f"{len(golden)} matches")
+    print(f"one Fifer PE, 4 temporally-pipelined stages: "
+          f"{result.cycles:,.0f} cycles (verified)")
+    print(f"residence {result.avg_residence_cycles:.0f} cycles, "
+          f"reconfiguration {result.avg_reconfig_cycles:.1f} cycles")
+    print("merge stage mapped from pseudo-assembly:")
+    print(result.mappings["join.merge"].render())
+
+
+if __name__ == "__main__":
+    main()

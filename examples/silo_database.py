@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Silo: in-memory database B+tree lookups under YCSB-C.
+
+Builds a B+tree index, generates a zipfian read-only workload (YCSB-C,
+paper Sec. 7.2), and runs the lookup pipeline of Fig. 12(b) — with its
+traverse-internal-node cycle — on Fifer and the static pipeline,
+reporting lookup throughput and the effect of the scaled-down 4 KB
+queue memory.
+
+Run:  python examples/silo_database.py
+"""
+
+import numpy as np
+
+from repro import System, SystemConfig
+from repro.datasets.btree import BPlusTree
+from repro.datasets.ycsb import zipfian_keys
+from repro.harness import format_table
+from repro.workloads import silo
+
+
+def main():
+    n_records = 50_000
+    n_ops = 4_000
+    keys = np.arange(n_records, dtype=np.int64) * 3 + 1
+    tree = BPlusTree(keys, keys * 7, fanout=8)
+    ops = keys[zipfian_keys(n_records, n_ops, seed=11)].copy()
+    ops[::8] += 1  # ~12% of lookups miss
+    golden = silo.silo_reference(tree, ops)
+    print(f"B+tree: {tree.n_keys} keys, depth {tree.depth}, "
+          f"{tree.n_nodes} nodes ({tree.total_bytes / 1024:.0f} KB)")
+    print(f"workload: {n_ops} zipfian lookups, "
+          f"{golden[0]} hits (checksum {golden[1]:#x})")
+
+    rows = []
+    config = silo.recommended_config(SystemConfig())  # 4 KB queue memory
+    for mode in ("static", "fifer"):
+        program, workload = silo.build(tree, ops, config, mode)
+        result = System(config, program, mode=mode).run()
+        assert result.result == golden, "lookup results mismatch!"
+        rows.append([mode, f"{result.cycles:,.0f}",
+                     f"{1000 * n_ops / result.cycles:.1f}",
+                     f"{workload.lookup_window[0]}"])
+    print()
+    print(format_table(
+        ["system", "cycles", "lookups / kcycle", "in-flight window"],
+        rows, title="YCSB-C lookups, 4 KB queue memory (paper Sec. 7.2)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""SpMM: merge-intersection and the cost of control-intensive pipelines.
+
+Sparse matrix-matrix multiplication is the paper's control-intensive
+workload: the merge-intersect stage redirects its producers at the end
+of every row/column pair, so sparser matrices mean shorter
+intersections, more frequent queue-empty events, and more
+reconfigurations on Fifer (Sec. 8.2). This example multiplies a very
+sparse (p2p-network-like) and a denser (structural-mechanics-like)
+matrix, comparing the decoupled pipelines against the merged variant
+that trades decoupling for data parallelism (Sec. 8.4).
+
+Run:  python examples/spmm_intersection.py
+"""
+
+from repro import System, SystemConfig
+from repro.datasets.matrices import make_matrix
+from repro.harness import format_table
+from repro.workloads import spmm
+
+
+def run_case(matrix, mode, variant, config):
+    program, workload = spmm.build(matrix, config, mode, variant,
+                                   n_rows=48, n_cols=48)
+    result = System(config, program, mode=mode).run()
+    golden = spmm.spmm_reference(matrix, workload.rows, workload.cols)
+    assert result.result == golden, "SpMM result mismatch!"
+    return result
+
+
+def main():
+    config = SystemConfig()
+    rows = []
+    for code, label in (("FS", "sparse (2.4 nnz/row)"),
+                        ("St", "dense (52.9 nnz/row)")):
+        matrix = make_matrix(code, scale=0.8)
+        fifer = run_case(matrix, "fifer", "decoupled", config)
+        static = run_case(matrix, "static", "decoupled", config)
+        merged = run_case(matrix, "static", "merged", config)
+        rows.append([
+            f"{code} {label}",
+            f"{static.cycles:,.0f}",
+            f"{static.cycles / fifer.cycles:.2f}x",
+            f"{static.cycles / merged.cycles:.2f}x",
+            f"{fifer.avg_residence_cycles:.0f}",
+            f"{fifer.avg_reconfig_cycles:.1f}",
+        ])
+        print(f"{code}: {matrix.n}x{matrix.n}, {matrix.nnz} non-zeros "
+              f"(verified on all variants)")
+    print()
+    print(format_table(
+        ["matrix", "static cycles", "Fifer speedup", "merged-static speedup",
+         "Fifer residence", "Fifer reconfig"],
+        rows,
+        title="Inner-product SpMM: the sparse input favors the merged "
+              "pipeline, the dense input favors decoupling (paper Fig. 17)"))
+
+
+if __name__ == "__main__":
+    main()

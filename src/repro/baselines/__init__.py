@@ -1,0 +1,11 @@
+"""Comparison systems: out-of-order cores (serial and 4-core multicore).
+
+The static-spatial-pipeline baseline is ``System(..., mode="static")``
+in :mod:`repro.core.system`; this package holds the general-purpose-core
+models (paper Sec. 7.1: Skylake-like, 6-wide OOO issue, 32 KB L1,
+256 KB L2, 2 MB LLC/core).
+"""
+
+from repro.baselines.ooo import OOOMachine, OOOResult, run_ooo
+
+__all__ = ["OOOMachine", "OOOResult", "run_ooo"]

@@ -1,0 +1,293 @@
+"""Per-workload kernels for the OOO core model.
+
+Each function returns a ``kernel(machines, barrier)`` suitable for
+:func:`repro.baselines.ooo.run_ooo`. Kernels execute the same algorithm
+as the golden references, walking the same data layouts (addresses from
+a private :class:`AddressSpace`), and charge instruction/memory costs to
+the per-core machines. Work is partitioned by element ownership
+(``v % n_cores``) with a barrier per iteration, mirroring the
+state-of-the-art data-parallel implementations the paper compares
+against (PBFS / Ligra / YCSB drivers).
+
+The per-operation instruction counts below are the model's calibration
+constants: they approximate the retired x86-64 instructions per element
+of tuned implementations (loop control + address arithmetic + compare/
+branch + update).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.btree import BPlusTree
+from repro.datasets.graphs import CSRGraph
+from repro.datasets.matrices import SparseMatrix
+from repro.memory.address import AddressSpace
+
+# Instructions charged per unit of work (see module docstring).
+VERTEX_INSTRS = 8       # fringe pop, offset loads, loop setup
+EDGE_INSTRS = 6         # index load, neighbor test, branch
+UPDATE_INSTRS = 4       # CAS/update + fringe push
+MERGE_STEP_INSTRS = 7   # two head compares + advance + branch
+LOOKUP_NODE_INSTRS = 14  # binary search within a B+tree node
+PAIR_INSTRS = 10        # per (i,j) pair setup in SpMM
+
+
+def _graph_refs(graph: CSRGraph):
+    space = AddressSpace()
+    offsets = space.alloc_array("offsets", graph.n_vertices + 1)
+    neighbors = space.alloc_array("neighbors", max(1, graph.n_edges))
+    values = space.alloc_array("values", graph.n_vertices)
+    aux = space.alloc_array("aux", graph.n_vertices)
+    return offsets, neighbors, values, aux
+
+
+def bfs_kernel(graph: CSRGraph, source: int, n_cores: int):
+    offsets_ref, neighbors_ref, dist_ref, fringe_ref = _graph_refs(graph)
+
+    def kernel(machines, barrier):
+        distances = np.full(graph.n_vertices, -1, dtype=np.int64)
+        distances[source] = 0
+        fringe = [source]
+        current = 1
+        while fringe:
+            slices = [[v for v in fringe if v % n_cores == c]
+                      for c in range(n_cores)]
+            next_fringe = []
+            for core, machine in enumerate(machines):
+                for v in slices[core]:
+                    machine.instr(VERTEX_INSTRS)
+                    machine.load(fringe_ref.addr(v % graph.n_vertices))
+                    machine.load(offsets_ref.addr(v))
+                    machine.load(offsets_ref.addr(v + 1))
+                    for e in range(graph.offsets[v], graph.offsets[v + 1]):
+                        machine.instr(EDGE_INSTRS)
+                        machine.load(neighbors_ref.addr(e))
+                        ngh = int(graph.neighbors[e])
+                        machine.load(dist_ref.addr(ngh))
+                        if distances[ngh] < 0:
+                            distances[ngh] = current
+                            machine.instr(UPDATE_INSTRS)
+                            machine.store(dist_ref.addr(ngh))
+                            next_fringe.append(ngh)
+            barrier()
+            fringe = next_fringe
+            current += 1
+        return distances
+
+    return kernel
+
+
+def cc_kernel(graph: CSRGraph, n_cores: int):
+    offsets_ref, neighbors_ref, labels_ref, fringe_ref = _graph_refs(graph)
+
+    def kernel(machines, barrier):
+        labels = np.arange(graph.n_vertices, dtype=np.int64)
+        fringe = list(range(graph.n_vertices))
+        while fringe:
+            slices = [[v for v in fringe if v % n_cores == c]
+                      for c in range(n_cores)]
+            touched = set()
+            for core, machine in enumerate(machines):
+                for v in slices[core]:
+                    machine.instr(VERTEX_INSTRS)
+                    machine.load(offsets_ref.addr(v))
+                    machine.load(offsets_ref.addr(v + 1))
+                    machine.load(labels_ref.addr(v))
+                    label = labels[v]
+                    for e in range(graph.offsets[v], graph.offsets[v + 1]):
+                        machine.instr(EDGE_INSTRS)
+                        machine.load(neighbors_ref.addr(e))
+                        ngh = int(graph.neighbors[e])
+                        machine.load(labels_ref.addr(ngh))
+                        if label < labels[ngh]:
+                            labels[ngh] = label
+                            machine.instr(UPDATE_INSTRS)
+                            machine.store(labels_ref.addr(ngh))
+                            touched.add(ngh)
+            barrier()
+            fringe = sorted(touched)
+        return labels
+
+    return kernel
+
+
+def prd_kernel(graph: CSRGraph, n_cores: int, damping: float,
+               epsilon: float, max_iterations: int = 1000):
+    offsets_ref, neighbors_ref, acc_ref, rank_ref = _graph_refs(graph)
+
+    def kernel(machines, barrier):
+        n = graph.n_vertices
+        rank = np.zeros(n, dtype=np.float64)
+        delta = np.full(n, 1.0 / n, dtype=np.float64)
+        acc = np.zeros(n, dtype=np.float64)
+        active = list(range(n))
+        for _ in range(max_iterations):
+            if not active:
+                break
+            slices = [[v for v in active if v % n_cores == c]
+                      for c in range(n_cores)]
+            touched = set()
+            for core, machine in enumerate(machines):
+                for v in slices[core]:
+                    machine.instr(VERTEX_INSTRS + 4)  # + threshold & divide
+                    machine.load(offsets_ref.addr(v))
+                    machine.load(offsets_ref.addr(v + 1))
+                    if abs(delta[v]) <= epsilon:
+                        continue
+                    rank[v] += delta[v]
+                    machine.store(rank_ref.addr(v))
+                    degree = graph.out_degree(v)
+                    if degree == 0:
+                        continue
+                    contribution = damping * delta[v] / degree
+                    for e in range(graph.offsets[v], graph.offsets[v + 1]):
+                        machine.instr(EDGE_INSTRS + 2)  # + FP add
+                        machine.load(neighbors_ref.addr(e))
+                        ngh = int(graph.neighbors[e])
+                        machine.load(acc_ref.addr(ngh))
+                        acc[ngh] += contribution
+                        machine.store(acc_ref.addr(ngh))
+                        touched.add(ngh)
+            barrier()
+            active = []
+            for v in sorted(touched):
+                delta[v] = acc[v]
+                acc[v] = 0.0
+                active.append(v)
+        return rank
+
+    return kernel
+
+
+def radii_kernel(graph: CSRGraph, sources: np.ndarray, n_cores: int,
+                 max_iterations=None):
+    offsets_ref, neighbors_ref, visited_ref, next_ref = _graph_refs(graph)
+
+    def kernel(machines, barrier):
+        n = graph.n_vertices
+        visited = np.zeros(n, dtype=np.uint64)
+        next_visited = np.zeros(n, dtype=np.uint64)
+        radii = np.full(n, -1, dtype=np.int64)
+        for bit, src in enumerate(sources):
+            visited[src] |= np.uint64(1 << bit)
+            radii[src] = 0
+        fringe = sorted(int(s) for s in set(int(s) for s in sources))
+        iteration = 0
+        while fringe:
+            iteration += 1
+            slices = [[v for v in fringe if v % n_cores == c]
+                      for c in range(n_cores)]
+            touched = set()
+            for core, machine in enumerate(machines):
+                for v in slices[core]:
+                    machine.instr(VERTEX_INSTRS)
+                    machine.load(offsets_ref.addr(v))
+                    machine.load(offsets_ref.addr(v + 1))
+                    machine.load(visited_ref.addr(v))
+                    mask = visited[v]
+                    for e in range(graph.offsets[v], graph.offsets[v + 1]):
+                        machine.instr(EDGE_INSTRS + 1)  # + OR
+                        machine.load(neighbors_ref.addr(e))
+                        ngh = int(graph.neighbors[e])
+                        machine.load(next_ref.addr(ngh))
+                        combined = next_visited[ngh] | mask
+                        if combined != next_visited[ngh]:
+                            next_visited[ngh] = combined
+                            machine.instr(UPDATE_INSTRS)
+                            machine.store(next_ref.addr(ngh))
+                            touched.add(ngh)
+            barrier()
+            if max_iterations is not None and iteration >= max_iterations:
+                break
+            fringe = []
+            for v in sorted(touched):
+                machines[v % n_cores].instr(4)
+                machines[v % n_cores].load(visited_ref.addr(v))
+                if next_visited[v] | visited[v] != visited[v]:
+                    visited[v] |= next_visited[v]
+                    radii[v] = iteration
+                    machines[v % n_cores].store(visited_ref.addr(v))
+                    fringe.append(v)
+        return radii
+
+    return kernel
+
+
+def spmm_kernel(matrix: SparseMatrix, rows: np.ndarray, cols: np.ndarray,
+                n_cores: int):
+    space = AddressSpace()
+    row_idx_ref = space.alloc_array("row_idx", max(1, matrix.nnz))
+    row_val_ref = space.alloc_array("row_val", max(1, matrix.nnz))
+    col_idx_ref = space.alloc_array("col_idx", max(1, matrix.nnz))
+    col_val_ref = space.alloc_array("col_val", max(1, matrix.nnz))
+    out_ref = space.alloc_array("c_out", max(1, len(rows) * len(cols)))
+
+    def kernel(machines, barrier):
+        out = {}
+        for r_pos, i in enumerate(rows):
+            machine = machines[r_pos % n_cores]
+            a_lo, a_hi = int(matrix.row_ptr[i]), int(matrix.row_ptr[i + 1])
+            for c_pos, j in enumerate(cols):
+                machine.instr(PAIR_INSTRS)
+                b_lo, b_hi = (int(matrix.col_ptr[j]),
+                              int(matrix.col_ptr[j + 1]))
+                acc = 0.0
+                pa, pb = a_lo, b_lo
+                while pa < a_hi and pb < b_hi:
+                    machine.instr(MERGE_STEP_INSTRS)
+                    machine.load(row_idx_ref.addr(pa))
+                    machine.load(col_idx_ref.addr(pb))
+                    ca, cb = int(matrix.row_idx[pa]), int(matrix.col_idx[pb])
+                    if ca == cb:
+                        machine.instr(4)
+                        machine.load(row_val_ref.addr(pa))
+                        machine.load(col_val_ref.addr(pb))
+                        acc += float(matrix.row_val[pa] * matrix.col_val[pb])
+                        pa += 1
+                        pb += 1
+                    elif ca < cb:
+                        pa += 1
+                    else:
+                        pb += 1
+                if acc != 0.0:
+                    out[(int(i), int(j))] = acc
+                    machine.store(out_ref.addr(
+                        r_pos * len(cols) + c_pos))
+        barrier()
+        return out
+
+    return kernel
+
+
+def silo_kernel(tree: BPlusTree, keys: np.ndarray, n_cores: int):
+    space = AddressSpace()
+    nodes_ref = space.alloc_array("btree_nodes", tree.total_bytes // 8)
+    keys_ref = space.alloc_array("keys", max(1, len(keys)))
+
+    def kernel(machines, barrier):
+        found = 0
+        checksum = 0
+        for pos, key in enumerate(keys):
+            machine = machines[pos % n_cores]
+            machine.instr(6)
+            machine.load(keys_ref.addr(pos))
+            node_id = tree.root_id
+            while not tree.nodes[node_id].is_leaf:
+                machine.instr(LOOKUP_NODE_INSTRS)
+                # Pointer chase: each node address depends on the last.
+                base = nodes_ref.base + tree.node_offset(node_id)
+                machine.load(base, dependent=True)
+                machine.load(base + 64, dependent=True)
+                node_id, _ = tree.step(node_id, int(key))
+            machine.instr(LOOKUP_NODE_INSTRS)
+            machine.load(nodes_ref.base + tree.node_offset(node_id),
+                         dependent=True)
+            value = tree.leaf_lookup(node_id, int(key))
+            if value is not None:
+                found += 1
+                checksum = (checksum + int(value)) & 0xFFFFFFFFFFFF
+        barrier()
+        return found, checksum
+
+    return kernel

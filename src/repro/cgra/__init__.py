@@ -1,0 +1,14 @@
+"""CGRA fabric model, DFG-to-fabric mapping, and bitstream generation.
+
+This plays the role of CGRA-ME in the paper's toolflow (Sec. 6/7.1): the
+cycle-level simulator consumes *mapping information* — placement,
+pipeline depth, SIMD replication factor, and configuration size — which
+the :mod:`repro.cgra.mapper` produces for each stage's dataflow graph.
+"""
+
+from repro.cgra.fabric import FabricSpec
+from repro.cgra.mapper import Mapping, UnmappableStageError, map_dfg
+from repro.cgra.bitstream import generate_bitstream, parse_bitstream
+
+__all__ = ["FabricSpec", "Mapping", "UnmappableStageError", "map_dfg",
+           "generate_bitstream", "parse_bitstream"]

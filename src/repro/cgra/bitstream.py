@@ -1,0 +1,118 @@
+"""Configuration bitstream generation and parsing.
+
+A configuration is a fixed-size byte string covering the whole fabric
+(paper Sec. 5.1: "our 16x5 fabric requires about 360 bytes of
+configuration ... divided in 6 groups"). Fifer stores these in cacheable
+memory and streams them from the L1 at 64 bytes/cycle, so the bitstream
+length directly determines the configuration load latency.
+
+Layout (little-endian):
+
+* 16-byte header: magic ``FIFR``, replication, lane width, level count,
+  opcode-table length, 32-bit stage-name hash, 4 reserved bytes.
+* One 4-byte cell record per functional unit, row-major:
+  opcode byte (0 = unused) and up to three operand references, each the
+  packed ``(row << 4) | col`` of the producing cell or ``0xFF`` for
+  none/edge.
+* Zero padding up to ``config_bytes - 4``, then a 32-bit checksum.
+
+Application constants are *not* part of the bitstream: they are register
+state loaded alongside it (paper Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.cgra.fabric import FabricSpec
+from repro.cgra.mapper import Mapping
+from repro.ir.dfg import DataflowGraph
+from repro.ir.ops import OpKind
+
+MAGIC = b"FIFR"
+_NO_OPERAND = 0xFF
+
+# Stable opcode numbering for serialization (0 reserved for "unused").
+_OPCODES = {kind: i + 1 for i, kind in enumerate(OpKind)}
+_KINDS = {v: k for k, v in _OPCODES.items()}
+
+
+class BitstreamError(Exception):
+    """Malformed or corrupt bitstream."""
+
+
+def _pack_ref(row: int, col: int) -> int:
+    return (row << 4) | col
+
+
+def _unpack_ref(ref: int) -> tuple[int, int]:
+    return ref >> 4, ref & 0xF
+
+
+def generate_bitstream(dfg: DataflowGraph, mapping: Mapping) -> bytes:
+    """Serialize one stage configuration to its fabric bitstream."""
+    fabric = mapping.fabric
+    cells = bytearray(4 * fabric.n_functional_units)
+    for node in dfg.nodes:
+        coords = mapping.placement.get(node.node_id)
+        if coords is None:  # edge ops (DEQ/ENQ) live in the edge switches
+            continue
+        row, col = coords
+        offset = 4 * (row * fabric.cols + col)
+        cells[offset] = _OPCODES[node.kind]
+        refs = [_NO_OPERAND] * 3
+        for i, operand in enumerate(node.operands[:3]):
+            op_coords = mapping.placement.get(operand.node_id)
+            if op_coords is not None:
+                refs[i] = _pack_ref(*op_coords)
+        cells[offset + 1:offset + 4] = bytes(refs)
+
+    header = struct.pack(
+        "<4sBBBBI4x", MAGIC, mapping.replication, mapping.lane_width,
+        mapping.n_levels, 0, zlib.crc32(dfg.name.encode()) & 0xFFFFFFFF)
+    body = header + bytes(cells)
+    if len(body) > mapping.config_bytes - 4:
+        raise BitstreamError(
+            f"stage {dfg.name!r}: configuration needs {len(body) + 4} bytes, "
+            f"fabric budget is {mapping.config_bytes}")
+    body += b"\x00" * (mapping.config_bytes - 4 - len(body))
+    checksum = zlib.crc32(body) & 0xFFFFFFFF
+    return body + struct.pack("<I", checksum)
+
+
+def parse_bitstream(data: bytes, fabric: FabricSpec):
+    """Parse a bitstream back into header fields and cell configuration.
+
+    Returns ``(info, cells)`` where ``info`` is a dict of header fields
+    and ``cells`` maps ``(row, col)`` to ``(OpKind, operand_coords)``.
+    """
+    if len(data) != fabric.config_bytes:
+        raise BitstreamError(
+            f"expected {fabric.config_bytes} bytes, got {len(data)}")
+    body, checksum = data[:-4], struct.unpack("<I", data[-4:])[0]
+    if zlib.crc32(body) & 0xFFFFFFFF != checksum:
+        raise BitstreamError("checksum mismatch")
+    magic, replication, lane_width, n_levels, _, name_hash = struct.unpack(
+        "<4sBBBBI4x", body[:16])
+    if magic != MAGIC:
+        raise BitstreamError(f"bad magic {magic!r}")
+    cells = {}
+    for flat in range(fabric.n_functional_units):
+        offset = 16 + 4 * flat
+        opcode = body[offset]
+        if opcode == 0:
+            continue
+        refs = [
+            _unpack_ref(b) for b in body[offset + 1:offset + 4]
+            if b != _NO_OPERAND
+        ]
+        row, col = flat // fabric.cols, flat % fabric.cols
+        cells[(row, col)] = (_KINDS[opcode], refs)
+    info = {
+        "replication": replication,
+        "lane_width": lane_width,
+        "n_levels": n_levels,
+        "name_hash": name_hash,
+    }
+    return info, cells

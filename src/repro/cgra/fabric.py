@@ -1,0 +1,56 @@
+"""Geometry of the reconfigurable fabric inside one PE.
+
+The fabric is a grid of word-width functional units separated by rows of
+switches (paper Fig. 3). Inputs and outputs enter through ports at the
+edges; the fabric is internally pipelined, so the longest input-output
+path sets a configuration's latency. A few double-precision FMA units
+are distributed evenly across the grid (paper Sec. 3/6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FabricConfig
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Concrete fabric geometry derived from a :class:`FabricConfig`."""
+
+    cols: int
+    rows: int
+    fma_units: int
+    config_bytes: int
+
+    @classmethod
+    def from_config(cls, config: FabricConfig) -> "FabricSpec":
+        return cls(cols=config.cols, rows=config.rows,
+                   fma_units=config.fma_units,
+                   config_bytes=config.config_bytes)
+
+    @property
+    def n_functional_units(self) -> int:
+        return self.cols * self.rows
+
+    def fma_positions(self) -> list[tuple[int, int]]:
+        """Grid coordinates of the FMA-capable units, spread evenly."""
+        if self.fma_units == 0:
+            return []
+        positions = []
+        stride = self.n_functional_units / self.fma_units
+        for i in range(self.fma_units):
+            flat = int(i * stride + stride / 2)
+            positions.append((flat // self.cols, flat % self.cols))
+        return positions
+
+    def pipeline_depth(self, n_levels: int) -> int:
+        """Cycles from fabric input to output for an ``n_levels`` DFG.
+
+        Functional units are separated by switch registers (paper
+        Fig. 3), so each dataflow level costs one FU register plus one
+        switch register, and one final switch row leads to the output
+        ports. This is the drain time of the configuration's in-flight
+        operations during reconfiguration (paper Sec. 5.1).
+        """
+        return 2 * n_levels + 1

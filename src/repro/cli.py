@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run APP INPUT [--system ...] [--variant ...] [--scale ...]`` —
+  run one experiment, verify it, and print cycles, the CPI stack, and
+  the energy breakdown.
+* ``compare APP INPUT`` — run all four evaluated systems on one input
+  and print a speedup chart (a one-input slice of Fig. 13).
+* ``inputs`` — list the apps, their inputs, and the paper datasets the
+  synthetic generators stand in for.
+* ``trace APP INPUT`` — run Fifer with activation tracing and print the
+  per-PE stage timeline (dynamic temporal pipelining, visualized).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import SystemConfig
+from repro.harness import (format_table, prepare_input, run_experiment,
+                           speedup_table)
+from repro.harness.report import bar_chart
+from repro.harness.run import APP_INPUTS, SYSTEMS
+from repro.stats.trace import ActivationTracer
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", choices=sorted(APP_INPUTS))
+    parser.add_argument("input", metavar="INPUT",
+                        help="input code (see `inputs`)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="input scale factor (default: per-input)")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _check_input(app: str, code: str) -> None:
+    if code not in APP_INPUTS[app]:
+        raise SystemExit(
+            f"unknown input {code!r} for {app}; choose from "
+            f"{', '.join(APP_INPUTS[app])}")
+
+
+def cmd_run(args) -> int:
+    _check_input(args.app, args.input)
+    result = run_experiment(args.app, args.input, args.system,
+                            variant=args.variant, scale=args.scale,
+                            seed=args.seed)
+    print(f"{args.app}/{args.input} on {args.system} ({args.variant}): "
+          f"{result.cycles:,.0f} cycles (verified against the reference)")
+    raw = result.raw
+    stack = raw.merged_cpi_stack()
+    total = sum(stack.values())
+    rows = [[bucket, f"{value:,.0f}", f"{value / total:.1%}"]
+            for bucket, value in stack.items()]
+    print()
+    print(format_table(["bucket", "cycles", "share"], rows,
+                       title="cycle breakdown (all contexts)"))
+    print()
+    rows = [[bucket, f"{joules * 1e6:.2f}"]
+            for bucket, joules in result.energy.items()]
+    print(format_table(["bucket", "energy (uJ)"], rows,
+                       title="energy breakdown"))
+    if args.system == "fifer":
+        print(f"\navg residence {raw.avg_residence_cycles:.0f} cycles, "
+              f"avg reconfiguration {raw.avg_reconfig_cycles:.1f} cycles")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    _check_input(args.app, args.input)
+    prepared = prepare_input(args.app, args.input, scale=args.scale,
+                             seed=args.seed)
+    results = {system: run_experiment(args.app, args.input, system,
+                                      prepared=prepared)
+               for system in SYSTEMS}
+    speedups = speedup_table(results)
+    print(bar_chart(speedups,
+                    title=f"{args.app}/{args.input}: speedup over the "
+                          f"4-core OOO multicore"))
+    return 0
+
+
+def cmd_inputs(args) -> int:
+    from repro.datasets.graphs import TABLE3_GRAPHS
+    from repro.datasets.matrices import TABLE4_MATRICES
+    rows = []
+    for app, codes in APP_INPUTS.items():
+        for code in codes:
+            if code in TABLE3_GRAPHS:
+                paper = TABLE3_GRAPHS[code]["paper"]
+            elif code in TABLE4_MATRICES:
+                paper = TABLE4_MATRICES[code]["paper"]
+            else:
+                paper = "YCSB-C zipfian lookups over a B+tree"
+            rows.append([app, code, paper])
+    print(format_table(["app", "input", "stands in for (paper Table 3/4)"],
+                       rows))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    _check_input(args.app, args.input)
+    from repro.core import System
+    from repro.harness.run import (_build_cgra_program, _system_config,
+                                   prepare_input as prep)
+    prepared = prep(args.app, args.input, scale=args.scale, seed=args.seed)
+    config = _system_config(args.app, SystemConfig())
+    program, _ = _build_cgra_program(prepared, config, "fifer", "decoupled")
+    system = System(config, program, mode="fifer")
+    tracer = ActivationTracer().attach(system)
+    result = system.run()
+    print(f"{args.app}/{args.input} on Fifer: {result.cycles:,.0f} cycles, "
+          f"{len(tracer.events)} activations\n")
+    print(tracer.gantt(result.cycles, max_pes=args.pes))
+    shares = tracer.stage_cycle_share(result.cycles)
+    total = sum(shares.values())
+    print("\nresident-cycle share by stage:")
+    for stage, share in sorted(shares.items(),
+                               key=lambda kv: -kv[1])[:12]:
+        print(f"  {stage:<24} {share / total:6.1%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fifer (MICRO 2021) reproduction: run the simulated "
+                    "systems from the command line.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _add_common(p_run)
+    p_run.add_argument("--system", choices=SYSTEMS, default="fifer")
+    p_run.add_argument("--variant", choices=("decoupled", "merged"),
+                       default="decoupled")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all four systems on one input")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_inputs = sub.add_parser("inputs", help="list apps and inputs")
+    p_inputs.set_defaults(func=cmd_inputs)
+
+    p_trace = sub.add_parser("trace", help="Fifer activation timeline")
+    _add_common(p_trace)
+    p_trace.add_argument("--pes", type=int, default=8,
+                         help="PEs to show in the Gantt chart")
+    p_trace.set_defaults(func=cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Decoupled reference machines (DRMs), paper Sec. 5.4.
+
+A DRM is a small finite state machine that performs memory accesses on
+the PE's behalf: the fabric enqueues addresses into the DRM's input
+queue, the DRM performs the loads (overlapping misses out of order, up
+to ``max_outstanding``), and places results in-order into an output
+queue for the consumer stage. DRMs are configured once at
+initialization and keep working regardless of which stage is currently
+scheduled on the PE.
+
+Modes (paper Sec. 5.4):
+
+* **dereference** — input operands are addresses whose memory values are
+  enqueued to the output. Extensions used by our pipelines: a token may
+  carry ``width`` consecutive addresses (a multi-word dereference, e.g.
+  ``offsets[v]``/``offsets[v+1]``) and an opaque *payload* tag that rides
+  along to the output (as Pipette's reference accelerators do), and the
+  output queue may be selected per-token from address/payload bits
+  (``route``), implementing the owner-sharded cross-PE hop of Sec. 5.6.
+* **scanning** — a token gives a ``(start_addr, end_addr)`` range to
+  fetch sequentially and enqueue.
+* **strided** — a token gives ``(start_addr, count, stride_bytes)``;
+  the DRM fetches ``count`` elements ``stride_bytes`` apart, traversing
+  arrays of structs. (The paper notes this mode "could be easily added";
+  its benchmarks did not need it, but the mode is implemented here as
+  the suggested extension.)
+
+Control values pass through DRMs in order; a routing DRM broadcasts each
+control value to every possible destination so iteration boundaries
+reach all consumers (Sec. 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.memory.cache import Cache
+from repro.memory.memmap import MemoryMap
+from repro.queues.queue import Queue
+
+
+@dataclass(frozen=True)
+class DRMSpec:
+    """Configuration of one DRM (fixed at program initialization)."""
+
+    name: str
+    mode: str                       # "deref" or "scan"
+    in_queue: str
+    out_queue: Optional[str] = None
+    route: Optional[Callable] = None      # (values, payload) -> queue name
+    route_targets: tuple = ()             # all queues `route` may select
+    width: int = 1                        # addresses per deref token
+    payload: bool = False                 # tokens carry a tag-along payload
+
+    def __post_init__(self):
+        if self.mode not in ("deref", "scan", "strided"):
+            raise ValueError(f"DRM {self.name!r}: unknown mode {self.mode!r}")
+        if (self.out_queue is None) == (self.route is None):
+            raise ValueError(
+                f"DRM {self.name!r}: exactly one of out_queue/route required")
+        if self.route is not None and not self.route_targets:
+            raise ValueError(
+                f"DRM {self.name!r}: route requires route_targets")
+
+
+class DRM:
+    """Runtime state of one decoupled reference machine."""
+
+    def __init__(self, spec: DRMSpec, pe_id: int, in_q: Queue,
+                 out_queues: dict, l1: Cache, memmap: MemoryMap,
+                 max_outstanding: int, l1_latency: int,
+                 issue_width: int = 1):
+        self.spec = spec
+        self.pe_id = pe_id
+        self.in_q = in_q
+        self.out_queues = out_queues  # name -> Queue, for all targets
+        self.l1 = l1
+        self.memmap = memmap
+        self.max_outstanding = max_outstanding
+        self.l1_latency = l1_latency
+        self.issue_width = issue_width
+        # DRM spec names are unique per shard by construction.
+        self.producer_key = spec.name
+        # Scanning/strided-mode cursor (persists across quanta and
+        # stage switches).
+        self._scan_addr: Optional[int] = None
+        self._scan_end: int = 0
+        self._scan_elem_bytes: int = 8
+        self._scan_stride: int = 8
+        self._scan_remaining: int = 0
+        # Statistics.
+        self.loads = 0
+        self.miss_stall_cycles = 0.0
+        self.busy_cycles = 0.0
+
+    def _targets(self) -> Sequence[str]:
+        if self.spec.route is not None:
+            return self.spec.route_targets
+        return (self.spec.out_queue,)
+
+    def _access_cost(self, addrs) -> float:
+        """One issue slot of throughput plus amortized miss stall.
+
+        ``issue_width`` accesses issue per cycle (banked L1 ports feeding
+        SIMD-replicated consumers); misses overlap out of order up to
+        ``max_outstanding``, so a stream of misses costs the miss latency
+        divided by the outstanding-access window.
+        """
+        worst = 0.0
+        for addr in addrs:
+            worst = max(worst, self.l1.access(addr))
+            self.loads += 1
+        extra = max(0.0, worst - self.l1_latency) / self.max_outstanding
+        self.miss_stall_cycles += extra
+        return 1.0 / self.issue_width + extra
+
+    def _step_scan(self) -> Optional[float]:
+        out = self.out_queues[self.spec.out_queue]
+        if not out.can_enq(self.producer_key):
+            return None
+        cost = self._access_cost((self._scan_addr,))
+        out.enq(self.memmap.read(self._scan_addr), producer=self.producer_key)
+        if self.spec.mode == "strided":
+            self._scan_addr += self._scan_stride
+            self._scan_remaining -= 1
+            if self._scan_remaining <= 0:
+                self._scan_addr = None
+        else:
+            self._scan_addr += self._scan_elem_bytes
+            if self._scan_addr >= self._scan_end:
+                self._scan_addr = None
+        return cost
+
+    def _step_control(self, token) -> Optional[float]:
+        targets = [self.out_queues[name] for name in self._targets()]
+        if not all(t.can_enq(self.producer_key, is_control=True)
+                   for t in targets):
+            return None
+        self.in_q.deq()
+        for target in targets:
+            target.enq(token.value, is_control=True,
+                       producer=self.producer_key)
+        return 1.0
+
+    def _step_deref(self, token) -> Optional[float]:
+        value = token.value
+        if self.spec.width > 1 or self.spec.payload:
+            parts = tuple(value)
+        else:
+            parts = (value,)
+        addrs = parts[:self.spec.width]
+        payload = parts[self.spec.width:] if self.spec.payload else ()
+        loaded = tuple(self.memmap.read(a) for a in addrs)
+        if self.spec.route is not None:
+            out_name = self.spec.route(loaded, payload)
+        else:
+            out_name = self.spec.out_queue
+        out = self.out_queues[out_name]
+        if not out.can_enq(self.producer_key):
+            return None
+        cost = self._access_cost(addrs)
+        if len(loaded) == 1 and not self.spec.payload:
+            result = loaded[0]
+        else:
+            result = loaded + payload
+        self.in_q.deq()
+        out.enq(result, producer=self.producer_key)
+        return cost
+
+    def run(self, budget: float) -> float:
+        """Advance the DRM for up to ``budget`` cycles; returns cycles used."""
+        spent = 0.0
+        while spent < budget:
+            if self._scan_addr is not None:
+                cost = self._step_scan()
+            elif not self.in_q.can_deq():
+                break
+            else:
+                token = self.in_q.peek()
+                if token.is_control:
+                    cost = self._step_control(token)
+                elif self.spec.mode == "scan":
+                    start, end = token.value
+                    self.in_q.deq()
+                    self._scan_addr = start if start < end else None
+                    self._scan_end = end
+                    if start < end:
+                        self._scan_elem_bytes = self.memmap.elem_bytes_at(start)
+                    cost = 1.0
+                elif self.spec.mode == "strided":
+                    start, count, stride = token.value
+                    self.in_q.deq()
+                    self._scan_addr = start if count > 0 else None
+                    self._scan_remaining = int(count)
+                    self._scan_stride = int(stride)
+                    cost = 1.0
+                else:
+                    cost = self._step_deref(token)
+            if cost is None:  # blocked on a full output queue
+                break
+            spent += cost
+        self.busy_cycles += spent
+        return spent

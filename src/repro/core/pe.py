@@ -1,0 +1,315 @@
+"""Processing element: CGRA fabric engine with dynamic temporal pipelining.
+
+A PE executes one stage configuration at a time. In Fifer mode it
+time-multiplexes all of its resident stages: when the current stage
+blocks (empty input or full output queue), the scheduler selects the
+ready stage with the most queued work and the PE reconfigures
+(paper Sec. 5.1/5.2). In static mode (the baseline spatial pipeline,
+Sec. 7.1) a PE hosts exactly one stage and simply stalls when blocked.
+
+Cycle accounting follows the CPI-stack buckets of Fig. 14:
+
+* ``issued`` — useful computation (queue I/O through the datapath,
+  explicit compute cycles).
+* ``stall_mem`` — stalls of coupled (non-decoupled) loads and stores.
+* ``stall_queue_full`` / ``stall_queue_empty`` — blocked with no
+  runnable stage (merged into the "queue full/empty" bucket).
+* ``reconfig`` — reconfiguration periods.
+* ``idle`` — blocked with every local input queue empty (waiting on
+  other PEs or the control core).
+
+DRMs run concurrently with the fabric within each quantum: they are
+configured once and keep performing accesses regardless of which stage
+is scheduled (paper Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import SystemConfig
+from repro.core.drm import DRM
+from repro.core.reconfig import ReconfigurationModel
+from repro.core.scheduler import make_scheduler
+from repro.core.stage import StageInstance
+from repro.memory.cache import Cache
+from repro.queues.queue import Queue
+from repro.queues.queue_memory import QueueMemory
+from repro.stats.counters import Counters
+
+_EPS = 1e-9
+
+
+class StageLivelockError(Exception):
+    """A stage issued a long run of zero-cost requests without progress."""
+
+
+class ProcessingElement:
+    """One PE: fabric engine, queue memory, L1, DRMs, scheduler."""
+
+    def __init__(self, pe_id: int, config: SystemConfig, l1: Cache,
+                 queue_memory: QueueMemory,
+                 resolve_queue: Callable[[str], Queue],
+                 time_multiplex: bool = True):
+        self.pe_id = pe_id
+        self.config = config
+        self.l1 = l1
+        self.queue_memory = queue_memory
+        self.resolve_queue = resolve_queue
+        self.time_multiplex = time_multiplex
+        self.scheduler = make_scheduler(config.scheduler_policy)
+        self.reconfig_model = ReconfigurationModel(config, l1)
+        self.stages: list[StageInstance] = []
+        self.drms: list[DRM] = []
+        self.counters = Counters()
+        self.now = 0.0
+        self.current: Optional[StageInstance] = None
+        self._incoming: Optional[StageInstance] = None
+        self._reconfig_remaining = 0.0
+        self._reconfig_period = 0.0
+        # Cycles consumed beyond a quantum's budget (the last request of
+        # a quantum may overshoot); repaid from the next quantum so
+        # long-run accounting matches wall-clock cycles.
+        self._debt = 0.0
+        self._last_activation: Optional[float] = None
+        self._stage_inputs: dict[str, list[Queue]] = {}
+        # Optional ActivationTracer (repro.stats.trace).
+        self.tracer = None
+
+    # -- construction ------------------------------------------------------
+
+    def attach_stage(self, stage: StageInstance) -> None:
+        self.stages.append(stage)
+        inputs = []
+        for name in stage.spec.dfg.input_queues():
+            inputs.append(self.resolve_queue(name))
+        self._stage_inputs[stage.name] = inputs
+
+    def attach_drm(self, drm: DRM) -> None:
+        if len(self.drms) >= self.config.n_drms:
+            raise ValueError(
+                f"PE {self.pe_id}: more than {self.config.n_drms} DRMs")
+        self.drms.append(drm)
+
+    def finalize(self) -> None:
+        """Complete setup; static PEs pin their single stage."""
+        if not self.time_multiplex:
+            if len(self.stages) != 1:
+                raise ValueError(
+                    f"static PE {self.pe_id} hosts {len(self.stages)} stages; "
+                    f"exactly one is required")
+            self.current = self.stages[0]
+            self._last_activation = 0.0
+
+    # -- scheduler support ---------------------------------------------------
+
+    def _satisfiable(self, stage: StageInstance, request: tuple) -> bool:
+        kind = request[0]
+        if kind in ("deq", "peek"):
+            return self.resolve_queue(request[1]).can_deq()
+        if kind == "enq":
+            return self.resolve_queue(request[1]).can_enq(
+                stage.ctx.producer_key, request[3])
+        return True
+
+    def stage_runnable(self, stage: StageInstance) -> bool:
+        if stage.done:
+            return False
+        if not stage.started:
+            return True
+        if stage.pending is None:
+            return False
+        return self._satisfiable(stage, stage.pending)
+
+    def stage_input_work(self, stage: StageInstance) -> int:
+        return sum(q.occupancy_words for q in self._stage_inputs[stage.name])
+
+    def all_done(self) -> bool:
+        return all(stage.done for stage in self.stages)
+
+    # -- execution -----------------------------------------------------------
+
+    def _perform(self, stage: StageInstance, request: tuple):
+        """Satisfy one request; returns (result, cycle_cost)."""
+        kind = request[0]
+        if kind == "deq":
+            token = self.resolve_queue(request[1]).deq()
+            cost = stage.io_cost(1, 0, token.is_control)
+            self.counters.add("issued", cost)
+            self.counters.add("tokens")
+            self.counters.add("fabric_ops", stage.mapping.n_compute_ops)
+            return token, cost
+        if kind == "try_deq":
+            queue = self.resolve_queue(request[1])
+            if not queue.can_deq():
+                return None, 0.0
+            token = queue.deq()
+            cost = stage.io_cost(1, 0, token.is_control)
+            self.counters.add("issued", cost)
+            self.counters.add("tokens")
+            self.counters.add("fabric_ops", stage.mapping.n_compute_ops)
+            return token, cost
+        if kind == "peek":
+            return self.resolve_queue(request[1]).peek(), 0.0
+        if kind == "enq":
+            _, name, value, is_control = request
+            self.resolve_queue(name).enq(
+                value, is_control=is_control, producer=stage.ctx.producer_key)
+            cost = stage.io_cost(0, 1, is_control)
+            self.counters.add("issued", cost)
+            return None, cost
+        if kind == "load":
+            latency = self.l1.access(request[1])
+            stall = max(0.0, latency - self.l1.config.latency)
+            if stall:
+                self.counters.add("stall_mem", stall)
+            return None, stall
+        if kind == "store":
+            # Stores retire through a write buffer and do not stall the
+            # datapath (no consumer depends on them); the access still
+            # updates cache state and traffic counts.
+            self.l1.access(request[1], write=True)
+            return None, 0.0
+        if kind == "cycles":
+            self.counters.add("issued", request[1])
+            return None, float(request[1])
+        raise ValueError(f"stage {stage.name!r}: unknown request {request!r}")
+
+    def _execute(self, stage: StageInstance, budget: float) -> float:
+        """Run ``stage`` until it blocks, finishes, or exhausts ``budget``."""
+        spent = 0.0
+        zero_streak = 0
+        if not stage.started:
+            stage.first_request()
+        while spent < budget and not stage.done:
+            request = stage.pending
+            if request is None or not self._satisfiable(stage, request):
+                break
+            result, cost = self._perform(stage, request)
+            spent += cost
+            zero_streak = 0 if cost > 0 else zero_streak + 1
+            if zero_streak > 1_000_000:
+                raise StageLivelockError(
+                    f"stage {stage.name!r} on PE {self.pe_id} issued 1M "
+                    f"zero-cost requests")
+            stage.advance(result)
+        return spent
+
+    def _classify_blocked(self) -> str:
+        """Attribute a blocked cycle to the Fig. 14 buckets.
+
+        Blocked enqueues are "queue full"; blocked dequeues on data
+        queues are "queue empty"; a PE whose stages only wait on
+        control-only queues (iteration barriers dispatched by the
+        control core) is idle.
+        """
+        data_starved = False
+        for stage in self.stages:
+            if stage.done or stage.pending is None:
+                continue
+            kind = stage.pending[0]
+            if kind == "enq" and not self._satisfiable(stage, stage.pending):
+                return "stall_queue_full"
+            if kind in ("deq", "peek") and not self._satisfiable(
+                    stage, stage.pending):
+                if not self.resolve_queue(stage.pending[1]).control_only:
+                    data_starved = True
+        return "stall_queue_empty" if data_starved else "idle"
+
+    def _begin_reconfiguration(self, incoming: StageInstance) -> None:
+        outgoing_depth = (self.current.mapping.depth_cycles
+                          if self.current is not None else 0.0)
+        period = self.reconfig_model.reconfiguration_period(
+            outgoing_depth, incoming.config_addr,
+            incoming.mapping.config_bytes)
+        if self._last_activation is not None:
+            self.counters.add("residence_sum", self.now - self._last_activation)
+            self.counters.add("residence_events")
+        self.counters.add("reconfig_events")
+        self.counters.add("reconfig_sum", period)
+        self._incoming = incoming
+        self._reconfig_remaining = period
+        self._reconfig_period = period
+        if period <= _EPS:
+            self._activate()
+
+    def _activate(self) -> None:
+        self.current = self._incoming
+        self._incoming = None
+        self._reconfig_remaining = 0.0
+        self._last_activation = self.now
+        if self.tracer is not None:
+            self.tracer.record(self.pe_id, self.current.name, self.now,
+                               self._reconfig_period)
+
+    def run_quantum(self, budget: float) -> None:
+        """Advance this PE (and its DRMs) by ``budget`` cycles.
+
+        DRMs are independent FSMs that run concurrently with the fabric;
+        stepping them before *and* after the fabric's slice of the
+        quantum approximates that concurrency (tokens the fabric
+        produces this quantum can cross a DRM within the same quantum,
+        halving the control-propagation latency of the quantum model).
+        """
+        drm_used = [drm.run(budget) for drm in self.drms]
+        remaining = float(budget) - self._debt
+        self._debt = 0.0
+        guard = 0
+        while remaining > _EPS:
+            guard += 1
+            if guard > 1_000_000:
+                raise StageLivelockError(
+                    f"PE {self.pe_id}: quantum failed to converge "
+                    f"(zero-cost switch livelock?)")
+            if self._reconfig_remaining > _EPS:
+                step = min(remaining, self._reconfig_remaining)
+                self._reconfig_remaining -= step
+                remaining -= step
+                self.now += step
+                self.counters.add("reconfig", step)
+                if self._reconfig_remaining <= _EPS:
+                    self._activate()
+                continue
+            if self.all_done():
+                self.counters.add("idle", remaining)
+                self.now += remaining
+                return
+            stage = self.current
+            if stage is None or not self.stage_runnable(stage):
+                nxt = self._pick_next(stage)
+                if nxt is None:
+                    self.counters.add(self._classify_blocked(), 1.0)
+                    remaining -= 1.0
+                    self.now += 1.0
+                    continue
+                if nxt is not stage:
+                    self._begin_reconfiguration(nxt)
+                    continue
+            used = self._execute(self.current, remaining)
+            remaining -= used
+            self.now += used
+        if remaining < 0:
+            self._debt = -remaining
+        # Second slice: whatever of the quantum each DRM has not used
+        # yet (keeps total DRM throughput at one quantum per quantum).
+        for drm, used in zip(self.drms, drm_used):
+            if used < budget:
+                drm.run(budget - used)
+
+    def _pick_next(self, current: Optional[StageInstance]):
+        if not self.time_multiplex:
+            stage = self.stages[0]
+            return stage if self.stage_runnable(stage) else None
+        return self.scheduler.pick(self)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def avg_residence_cycles(self) -> float:
+        events = self.counters["residence_events"]
+        return self.counters["residence_sum"] / events if events else 0.0
+
+    @property
+    def avg_reconfig_cycles(self) -> float:
+        events = self.counters["reconfig_events"]
+        return self.counters["reconfig_sum"] / events if events else 0.0

@@ -1,0 +1,69 @@
+"""Reconfiguration timing (paper Sec. 5.1, Fig. 8).
+
+Reconfiguring a Fifer PE is a three-step process:
+
+1. **Load** the new configuration from the L1 cache. Configurations are
+   stored in cacheable memory; the L1 serves 64 bytes/cycle into chained
+   configuration cells, so a ~360-byte configuration loads in 6 chunks
+   (plus the L1 access latency — 10 cycles total when the configuration
+   hits in the L1).
+2. **Drain** the in-flight operations of the current configuration
+   (its pipeline depth in cycles); architectural state in fabric
+   registers drains to the L1 alongside.
+3. **Activate** the new configuration: a two-cycle dead time while the
+   double-buffered cells switch their read multiplexer.
+
+With Fifer's double-buffered configuration cells, steps 1 and 2 overlap:
+the reconfiguration period is ``max(drain, load) + activation``. Without
+them (the Fig. 16 ablation), the steps serialize. ``zero_cost`` models
+the idealized free-reconfiguration design of Sec. 8.3.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.memory.cache import Cache
+
+_CHUNK_BYTES = 64
+
+
+class ReconfigurationModel:
+    """Computes reconfiguration periods for one PE."""
+
+    def __init__(self, config: SystemConfig, l1: Cache):
+        self.config = config
+        self.l1 = l1
+        self.configs_loaded = 0
+        # Loads whose bitstream lines were not all L1-resident. The
+        # paper assumes warm configurations (10-cycle loads); this
+        # counter exposes how often data traffic evicted them.
+        self.cold_loads = 0
+
+    def load_cycles(self, config_addr: int, config_bytes: int) -> float:
+        """Cycles to stream one bitstream from the L1 into the config cells."""
+        chunks = -(-config_bytes // _CHUNK_BYTES)
+        worst_line = 0.0
+        addr = config_addr
+        for _ in range(chunks):
+            worst_line = max(worst_line, self.l1.access(addr))
+            addr += _CHUNK_BYTES
+        self.configs_loaded += 1
+        if worst_line > self.l1.config.latency:
+            self.cold_loads += 1
+        return chunks + worst_line
+
+    def reconfiguration_period(self, outgoing_depth: float,
+                               incoming_config_addr: int,
+                               incoming_config_bytes: int) -> float:
+        """Total dead time to switch from the current stage to a new one.
+
+        ``outgoing_depth`` is the in-flight drain time of the current
+        configuration (0 when the fabric is empty, e.g., first activation).
+        """
+        if self.config.zero_cost_reconfig:
+            return 0.0
+        load = self.load_cycles(incoming_config_addr, incoming_config_bytes)
+        activation = self.config.fabric.activation_cycles
+        if self.config.double_buffered:
+            return max(outgoing_depth, load) + activation
+        return outgoing_depth + load + activation

@@ -1,0 +1,68 @@
+"""Stage-selection policies for the Fifer scheduler (paper Sec. 5.2).
+
+The scheduler keeps a PE configured to the current stage until it is
+blocked by a full output queue or an empty input queue. When it must
+select a new stage, it examines queue occupancies and, of the unblocked
+stages, selects the one with the greatest amount of work available in
+its input queues; this reduces the number of reconfigurations.
+
+A round-robin policy is also provided — the paper reports it performs
+worse (it increases reconfiguration frequency), which the
+``bench_scheduler_policy`` benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.stage import StageInstance
+
+
+class MostWorkScheduler:
+    """Pick the ready stage with the most words queued at its inputs."""
+
+    name = "most-work"
+
+    def pick(self, pe) -> Optional[StageInstance]:
+        best = None
+        best_work = -1
+        for stage in pe.stages:
+            if stage.done or not pe.stage_runnable(stage):
+                continue
+            work = pe.stage_input_work(stage)
+            if work > best_work:
+                best, best_work = stage, work
+        return best
+
+
+class RoundRobinScheduler:
+    """Cycle through stages, picking the next runnable one."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def pick(self, pe) -> Optional[StageInstance]:
+        n = len(pe.stages)
+        for offset in range(1, n + 1):
+            stage = pe.stages[(self._cursor + offset) % n]
+            if not stage.done and pe.stage_runnable(stage):
+                self._cursor = (self._cursor + offset) % n
+                return stage
+        return None
+
+
+_POLICIES = {
+    MostWorkScheduler.name: MostWorkScheduler,
+    RoundRobinScheduler.name: RoundRobinScheduler,
+}
+
+
+def make_scheduler(policy: str):
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler policy {policy!r}; "
+            f"choose from {sorted(_POLICIES)}") from None

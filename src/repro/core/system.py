@@ -1,0 +1,221 @@
+"""The multi-PE system: builds PEs from a program and steps the clock.
+
+The system owns the memory hierarchy (private L1s, shared LLC, HBM), the
+global queue registry (every queue is reachable by name so producers on
+any PE can enqueue to consumers anywhere, subject to credits), and the
+quantum-stepped simulation loop. PEs and DRMs advance in fixed quanta of
+a few tens of cycles — the same timescale as Fifer's reconfigurations —
+with all queue and cache state globally visible at quantum boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cgra.bitstream import generate_bitstream
+from repro.cgra.fabric import FabricSpec
+from repro.cgra.mapper import Mapping, map_dfg
+from repro.config import SystemConfig
+from repro.core.drm import DRM
+from repro.core.pe import ProcessingElement
+from repro.core.program import Program
+from repro.core.stage import StageContext, StageInstance
+from repro.memory.cache import build_hierarchy
+from repro.queues.queue import Queue
+from repro.queues.queue_memory import QueueMemory
+from repro.stats.counters import Counters
+from repro.stats.cpi_stack import cpi_stack, merge_stacks
+
+
+class DeadlockError(Exception):
+    """No token moved for many quanta while the program is unfinished."""
+
+
+class SimulationTimeout(Exception):
+    """The run exceeded the caller's cycle limit."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    program_name: str
+    mode: str
+    cycles: float
+    config: SystemConfig
+    pe_counters: list[Counters]
+    l1_stats: list[dict]
+    llc_stats: dict
+    mem_stats: dict
+    result: Any
+    mappings: dict[str, Mapping] = field(default_factory=dict)
+
+    @property
+    def counters(self) -> Counters:
+        merged = Counters()
+        for counters in self.pe_counters:
+            merged.merge(counters)
+        return merged
+
+    def cpi_stacks(self) -> list[dict[str, float]]:
+        return [cpi_stack(c, self.cycles) for c in self.pe_counters]
+
+    def merged_cpi_stack(self) -> dict[str, float]:
+        return merge_stacks(self.cpi_stacks())
+
+    @property
+    def avg_residence_cycles(self) -> float:
+        merged = self.counters
+        events = merged["residence_events"]
+        return merged["residence_sum"] / events if events else 0.0
+
+    @property
+    def avg_reconfig_cycles(self) -> float:
+        merged = self.counters
+        events = merged["reconfig_events"]
+        return merged["reconfig_sum"] / events if events else 0.0
+
+
+class System:
+    """Instantiates a :class:`Program` on Fifer or the static baseline."""
+
+    def __init__(self, config: SystemConfig, program: Program,
+                 mode: str = "fifer"):
+        if mode not in ("fifer", "static"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if program.n_pes != config.n_pes:
+            raise ValueError(
+                f"program targets {program.n_pes} PEs, system has "
+                f"{config.n_pes}")
+        self.config = config
+        self.program = program
+        self.mode = mode
+        self.cycle = 0.0
+        self.fabric = FabricSpec.from_config(config.fabric)
+
+        l1s, self.llc, self.memory = build_hierarchy(
+            config.l1, config.llc, config.memory, config.n_pes)
+        self._queues: dict[str, Queue] = dict(program.external_queues)
+        self.pes: list[ProcessingElement] = []
+        self.mappings: dict[str, Mapping] = {}
+
+        # Pass 1: carve queue memories so every queue exists before any
+        # stage or DRM resolves names.
+        queue_memories = []
+        for pe_id, pe_program in enumerate(program.pe_programs):
+            qmem = QueueMemory(config.queue_mem_bytes, config.max_queues_per_pe)
+            if pe_program.queue_specs:
+                for name, queue in qmem.carve(pe_program.queue_specs).items():
+                    if name in self._queues:
+                        raise ValueError(f"duplicate queue name {name!r}")
+                    self._queues[name] = queue
+            queue_memories.append(qmem)
+
+        # Pass 2: build PEs, stages (with mapped configurations), DRMs.
+        for pe_id, pe_program in enumerate(program.pe_programs):
+            pe = ProcessingElement(
+                pe_id, config, l1s[pe_id], queue_memories[pe_id],
+                self.resolve_queue, time_multiplex=(mode == "fifer"))
+            for spec in pe_program.stage_specs:
+                caps = [cap for cap in (spec.max_replication,
+                                        config.max_simd_replication)
+                        if cap is not None]
+                mapping = map_dfg(spec.dfg, self.fabric,
+                                  max_replication=min(caps) if caps else None)
+                self.mappings[spec.name] = mapping
+                config_region = program.address_space.alloc(
+                    f"__cfg_{spec.name}", mapping.config_bytes)
+                generate_bitstream(spec.dfg, mapping)  # validates budget
+                ctx = StageContext(pe_id, spec.name, pe_program.shard,
+                                   self._n_shards())
+                stage = StageInstance(spec, ctx, mapping, config_region.base)
+                pe.attach_stage(stage)
+            for drm_spec in pe_program.drm_specs:
+                targets = (drm_spec.route_targets if drm_spec.route
+                           else (drm_spec.out_queue,))
+                out_queues = {name: self.resolve_queue(name)
+                              for name in targets}
+                drm = DRM(drm_spec, pe_id,
+                          self.resolve_queue(drm_spec.in_queue), out_queues,
+                          l1s[pe_id], program.memmap,
+                          config.drm_max_outstanding, config.l1.latency,
+                          issue_width=config.drm_issue_width)
+                pe.attach_drm(drm)
+            pe.finalize()
+            self.pes.append(pe)
+        if program.post_build is not None:
+            program.post_build(self)
+
+    def _n_shards(self) -> int:
+        return 1 + max(p.shard for p in self.program.pe_programs)
+
+    def resolve_queue(self, name: str) -> Queue:
+        try:
+            return self._queues[name]
+        except KeyError:
+            raise KeyError(f"no queue named {name!r} in the system") from None
+
+    # -- simulation ----------------------------------------------------------
+
+    def done(self) -> bool:
+        return all(pe.all_done() for pe in self.pes)
+
+    def _progress_fingerprint(self) -> tuple:
+        tokens = sum(q.total_enqueued for q in self._queues.values())
+        finished = sum(stage.done for pe in self.pes for stage in pe.stages)
+        issued = sum(pe.counters["issued"] + pe.counters["stall_mem"]
+                     for pe in self.pes)
+        return tokens, finished, issued
+
+    def _deadlock_report(self) -> str:
+        lines = [f"deadlock in {self.program.name!r} ({self.mode}) at cycle "
+                 f"{self.cycle:.0f}:"]
+        for pe in self.pes:
+            for stage in pe.stages:
+                state = ("done" if stage.done else
+                         f"pending={stage.pending!r}")
+                lines.append(f"  PE{pe.pe_id} {stage.name}: {state}")
+        occupied = {name: len(q) for name, q in self._queues.items() if len(q)}
+        lines.append(f"  non-empty queues: {occupied}")
+        return "\n".join(lines)
+
+    def run(self, max_cycles: Optional[float] = None) -> SimulationResult:
+        """Run the program to completion and return the results."""
+        quantum = self.config.quantum
+        stuck_quanta = 0
+        last_fingerprint = None
+        while not self.done():
+            if max_cycles is not None and self.cycle >= max_cycles:
+                raise SimulationTimeout(
+                    f"{self.program.name!r} exceeded {max_cycles} cycles")
+            self.memory.begin_quantum(quantum)
+            for pe in self.pes:
+                pe.run_quantum(quantum)
+            if self.program.control_poll is not None:
+                self.program.control_poll(self)
+            self.cycle += quantum
+            fingerprint = self._progress_fingerprint()
+            if fingerprint == last_fingerprint:
+                stuck_quanta += 1
+                if stuck_quanta >= self.config.deadlock_quanta:
+                    raise DeadlockError(self._deadlock_report())
+            else:
+                stuck_quanta = 0
+                last_fingerprint = fingerprint
+        return SimulationResult(
+            program_name=self.program.name,
+            mode=self.mode,
+            cycles=self.cycle,
+            config=self.config,
+            pe_counters=[pe.counters for pe in self.pes],
+            l1_stats=[{"hits": pe.l1.hits, "misses": pe.l1.misses,
+                       "hit_rate": pe.l1.hit_rate} for pe in self.pes],
+            llc_stats={"hits": self.llc.hits, "misses": self.llc.misses,
+                       "hit_rate": self.llc.hit_rate},
+            mem_stats={"reads": self.memory.reads,
+                       "writes": self.memory.writes,
+                       "bytes": self.memory.bytes_transferred},
+            result=self.program.result(),
+            mappings=self.mappings,
+        )

@@ -1,0 +1,24 @@
+"""Synthetic inputs matched to the statistics of the paper's datasets.
+
+The paper uses five real-world graphs (Table 3), six SuiteSparse
+matrices (Table 4), and a 52 GB YCSB-C database. None of those are
+available offline, so each is replaced by a synthetic generator matched
+to the published statistics (vertex/edge counts and degree skew; matrix
+size and nnz/row; zipfian key popularity) at a scale a pure-Python
+cycle-level simulator can run. See DESIGN.md, "Substitutions".
+"""
+
+from repro.datasets.graphs import (CSRGraph, uniform_random_graph,
+                                   power_law_graph, grid_graph, TABLE3_GRAPHS,
+                                   make_graph)
+from repro.datasets.matrices import (SparseMatrix, random_sparse_matrix,
+                                     TABLE4_MATRICES, make_matrix)
+from repro.datasets.btree import BPlusTree
+from repro.datasets.ycsb import zipfian_keys
+
+__all__ = [
+    "CSRGraph", "uniform_random_graph", "power_law_graph", "grid_graph",
+    "TABLE3_GRAPHS", "make_graph",
+    "SparseMatrix", "random_sparse_matrix", "TABLE4_MATRICES", "make_matrix",
+    "BPlusTree", "zipfian_keys",
+]

@@ -1,0 +1,34 @@
+"""YCSB-style workload generation.
+
+Silo is evaluated with YCSB-C (paper Sec. 7.2): a read-only workload
+whose key popularity follows a zipfian distribution (the YCSB default,
+theta = 0.99), so a few hot records absorb most lookups while the long
+tail forces cache misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipfian_keys(n_records: int, n_ops: int, theta: float = 0.99,
+                 seed: int = 0, scramble: bool = True) -> np.ndarray:
+    """Draw ``n_ops`` record indices from a zipfian over ``n_records``.
+
+    With ``scramble`` (as YCSB does), popularity ranks are permuted
+    across the key space so hot keys are scattered rather than
+    clustered at low ids.
+    """
+    if n_records <= 0:
+        raise ValueError("n_records must be positive")
+    if not 0 < theta < 1:
+        raise ValueError("theta must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_records + 1, dtype=np.float64)
+    weights = ranks ** -theta
+    weights /= weights.sum()
+    draws = rng.choice(n_records, size=n_ops, p=weights)
+    if scramble:
+        perm = rng.permutation(n_records)
+        draws = perm[draws]
+    return draws.astype(np.int64)

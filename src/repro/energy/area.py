@@ -1,0 +1,52 @@
+"""Area model (paper Table 1 and Sec. 6).
+
+The paper synthesizes Fifer's components with Yosys and the 45 nm
+FreePDK45 library at 2 GHz, estimating memory arrays with CACTI. We
+take the published numbers directly:
+
+==========================================  ==========
+Item                                         Area
+==========================================  ==========
+Reconfigurable fabric, 16x5 func. units     0.91 mm^2
+4x double-precision FMA units               0.15 mm^2
+16 KB queue SRAM                            0.054 mm^2
+4x decoupled reference machines (DRMs)      0.0029 mm^2
+32 KB data cache                            0.22 mm^2
+Total area (per PE)                         1.34 mm^2
+==========================================  ==========
+
+Each PE is 4.6% of the area of a core in the same technology node
+(45 nm Nehalem), which is why the evaluation provisions 4 PEs per OOO
+core (16 PEs vs. 4 cores).
+"""
+
+from __future__ import annotations
+
+PE_AREA_BREAKDOWN_MM2 = {
+    "reconfigurable_fabric_16x5": 0.91,
+    "fma_units_4x": 0.15,
+    "queue_sram_16kb": 0.054,
+    "drms_4x": 0.0029,
+    "data_cache_32kb": 0.22,
+}
+
+# Paper Sec. 6: "each PE is 4.6% of the area of a core in the same
+# technology node (45 nm Nehalem)".
+PE_FRACTION_OF_CORE = 0.046
+
+
+def pe_area_mm2() -> float:
+    """Total area of one Fifer PE (paper Table 1: 1.34 mm^2)."""
+    return sum(PE_AREA_BREAKDOWN_MM2.values())
+
+
+def ooo_core_area_mm2() -> float:
+    """Implied area of one 45 nm OOO core (PE area / 4.6%)."""
+    return pe_area_mm2() / PE_FRACTION_OF_CORE
+
+
+def system_area_mm2(n_pes: int = 0, n_cores: int = 0,
+                    llc_mb: float = 8.0) -> float:
+    """Area of an evaluated system (PEs or cores plus shared LLC)."""
+    llc_area = llc_mb * 2.0  # ~2 mm^2 per MB of LLC at 45 nm (CACTI-like)
+    return n_pes * pe_area_mm2() + n_cores * ooo_core_area_mm2() + llc_area

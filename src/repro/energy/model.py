@@ -1,0 +1,105 @@
+"""Per-event energy model (paper Sec. 7.1, Fig. 15).
+
+The paper models core and uncore energy at 22 nm with McPAT, HBM energy
+from O'Connor et al., and fabric energy from post-synthesis power scaled
+from 45 nm to 22 nm. We substitute a per-event model with constants in
+those tools' ranges (all in picojoules at ~22 nm):
+
+* 64-bit ALU op through a fabric functional unit + switch hop: ~3 pJ.
+* Queue SRAM push/pop: ~2 pJ.
+* 32 KB L1 access ~15 pJ; 256 KB L2 ~40 pJ; multi-MB LLC ~100 pJ.
+* HBM: ~4 pJ/bit => ~2 nJ per 64-byte line.
+* OOO core pipeline energy per retired instruction (fetch/decode/rename/
+  issue/bypass, excluding caches): ~250 pJ — the instruction
+  interpretation overhead the paper's introduction calls out.
+* Leakage: proportional to area and runtime (~50 mW/mm^2 at 22 nm).
+
+The Fig. 15 buckets are: Memory (HBM dynamic), Caches (L1/L2/LLC
+dynamic), Compute (fabric or core dynamic), Leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.area import ooo_core_area_mm2, pe_area_mm2
+
+PJ = 1e-12
+
+E_FABRIC_OP = 3.0 * PJ
+E_QUEUE_OP = 2.0 * PJ
+E_DRM_OP = 2.0 * PJ
+E_L1 = 15.0 * PJ
+E_L2 = 40.0 * PJ
+E_LLC = 100.0 * PJ
+E_DRAM_LINE = 2000.0 * PJ
+E_OOO_INSTR = 250.0 * PJ
+LEAKAGE_W_PER_MM2 = 0.05
+LLC_AREA_MM2_PER_MB = 2.0
+FREQ_HZ = 2e9
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per Fig. 15 bucket."""
+
+    memory: float
+    caches: float
+    compute: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return self.memory + self.caches + self.compute + self.leakage
+
+    def as_dict(self) -> dict[str, float]:
+        return {"memory": self.memory, "caches": self.caches,
+                "compute": self.compute, "leakage": self.leakage}
+
+
+class EnergyModel:
+    """Computes Fig. 15 energy breakdowns for both system families."""
+
+    def __init__(self, llc_mb: float = 8.0):
+        self.llc_mb = llc_mb
+
+    def _leakage(self, logic_area_mm2: float, cycles: float) -> float:
+        area = logic_area_mm2 + self.llc_mb * LLC_AREA_MM2_PER_MB
+        return LEAKAGE_W_PER_MM2 * area * cycles / FREQ_HZ
+
+    def cgra_energy(self, sim_result) -> EnergyBreakdown:
+        """Energy of a Fifer or static-pipeline run (SimulationResult)."""
+        counters = sim_result.counters
+        l1_accesses = sum(s["hits"] + s["misses"]
+                          for s in sim_result.l1_stats)
+        llc_accesses = (sim_result.llc_stats["hits"]
+                        + sim_result.llc_stats["misses"])
+        mem_lines = (sim_result.mem_stats["reads"]
+                     + sim_result.mem_stats["writes"])
+        # Two queue-SRAM events (push + pop) per token, plus DRM work.
+        queue_ops = 2.0 * counters["tokens"]
+        compute = (counters["fabric_ops"] * E_FABRIC_OP
+                   + queue_ops * E_QUEUE_OP)
+        caches = l1_accesses * E_L1 + llc_accesses * E_LLC
+        memory = mem_lines * E_DRAM_LINE
+        n_pes = len(sim_result.pe_counters)
+        leakage = self._leakage(n_pes * pe_area_mm2(), sim_result.cycles)
+        return EnergyBreakdown(memory, caches, compute, leakage)
+
+    def ooo_energy(self, ooo_result) -> EnergyBreakdown:
+        """Energy of a serial or multicore OOO run (OOOResult)."""
+        l1_accesses = sum(s["hits"] + s["misses"]
+                          for s in ooo_result.l1_stats)
+        llc_accesses = (ooo_result.llc_stats["hits"]
+                        + ooo_result.llc_stats["misses"])
+        mem_lines = (ooo_result.mem_stats["reads"]
+                     + ooo_result.mem_stats["writes"])
+        compute = ooo_result.instructions * E_OOO_INSTR
+        # L2 sits between the counted L1 misses and the LLC.
+        l2_accesses = sum(s["misses"] for s in ooo_result.l1_stats)
+        caches = (l1_accesses * E_L1 + l2_accesses * E_L2
+                  + llc_accesses * E_LLC)
+        memory = mem_lines * E_DRAM_LINE
+        leakage = self._leakage(
+            ooo_result.n_cores * ooo_core_area_mm2(), ooo_result.cycles)
+        return EnergyBreakdown(memory, caches, compute, leakage)

@@ -1,0 +1,13 @@
+"""Experiment harness: runs (app, input, system) combinations and
+formats the paper's tables and figures."""
+
+from repro.harness.run import (ExperimentResult, GRAPH_APPS, APP_INPUTS,
+                               SYSTEMS, prepare_input, run_experiment,
+                               speedup_table)
+from repro.harness.format import format_table, gmean
+
+__all__ = [
+    "ExperimentResult", "GRAPH_APPS", "APP_INPUTS", "SYSTEMS",
+    "prepare_input", "run_experiment", "speedup_table",
+    "format_table", "gmean",
+]

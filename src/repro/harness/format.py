@@ -1,0 +1,35 @@
+"""Table formatting and summary statistics for benchmark output."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("gmean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"gmean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

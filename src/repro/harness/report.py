@@ -1,0 +1,70 @@
+"""ASCII rendering of the paper's figures (bar charts, stacked bars).
+
+The benchmarks print tables; these helpers additionally render the data
+the way the paper's figures look — grouped bars for Fig. 13/16/17 and
+stacked bars for Fig. 14/15 — entirely in ASCII so results are readable
+in a terminal or a results file.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_STACK_GLYPHS = "#=+~. "
+
+
+def bar_chart(values: Mapping[str, float], width: int = 50,
+              title: str = "", unit: str = "x") -> str:
+    """Horizontal bar chart of labeled values."""
+    if not values:
+        raise ValueError("no values to chart")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar chart needs a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{label:<{label_width}} |{bar:<{width}}| "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bars(stacks: Mapping[str, Mapping[str, float]],
+                 buckets: Sequence[str], width: int = 50,
+                 title: str = "") -> str:
+    """Stacked horizontal bars (e.g., CPI stacks), normalized to the
+    largest total; each bucket gets a distinct glyph."""
+    if not stacks:
+        raise ValueError("no stacks to chart")
+    glyphs = {bucket: _STACK_GLYPHS[i % len(_STACK_GLYPHS)]
+              for i, bucket in enumerate(buckets)}
+    peak = max(sum(stack.get(b, 0.0) for b in buckets)
+               for stack in stacks.values())
+    if peak <= 0:
+        raise ValueError("stacked bars need a positive maximum")
+    label_width = max(len(k) for k in stacks)
+    lines = [title] if title else []
+    for label, stack in stacks.items():
+        row = []
+        for bucket in buckets:
+            cells = int(round(width * stack.get(bucket, 0.0) / peak))
+            row.append(glyphs[bucket] * cells)
+        total = sum(stack.get(b, 0.0) for b in buckets)
+        lines.append(f"{label:<{label_width}} |{''.join(row):<{width}}| "
+                     f"{total:,.0f}")
+    legend = "  ".join(f"{glyphs[b]}={b}" for b in buckets)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def speedup_bars(per_input: Mapping[str, Mapping[str, float]],
+                 systems: Sequence[str], width: int = 40,
+                 title: str = "") -> str:
+    """Grouped bars: one block per input, one bar per system."""
+    lines = [title] if title else []
+    for code, speedups in per_input.items():
+        lines.append(f"[{code}]")
+        lines.append(bar_chart({s: speedups[s] for s in systems},
+                               width=width))
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Dataflow IR for pipeline stages.
+
+Each pipeline stage's computation is expressed as a dataflow graph (DFG)
+of the operations a PE's functional units can perform (paper Sec. 4,
+Fig. 5/6). The DFG receives inputs and sends outputs via queues, and is
+what the mapper places onto the CGRA fabric.
+"""
+
+from repro.ir.ops import Op, OpKind, OP_INFO
+from repro.ir.dfg import DataflowGraph, DFGError, Node
+from repro.ir.builder import DFGBuilder
+from repro.ir.asmparse import AsmParseError, parse_stage_asm
+
+__all__ = ["Op", "OpKind", "OP_INFO", "DataflowGraph", "DFGError", "Node",
+           "DFGBuilder", "AsmParseError", "parse_stage_asm"]

@@ -1,0 +1,157 @@
+"""Pseudo-assembly frontend for stage dataflow graphs.
+
+The paper's toolflow (Fig. 5) lowers each annotated stage to LLVM IR,
+then extracts a dataflow graph; Fig. 6 shows the intermediate
+pseudo-assembly for BFS's enumerate-neighbors stage. This module parses
+that pseudo-assembly dialect directly into a
+:class:`~repro.ir.dfg.DataflowGraph`, so stages can be written as text:
+
+    ; enumerate neighbors (paper Fig. 6)
+    deq   %e,    $q_start
+    deq   %end,  $q_end
+    mov   %base, 4096
+    lea   %addr, %base, %e
+    ld    %ngh,  %addr
+    enq   $q_ngh, %ngh
+    addi  %nxt,  %e, 1
+    blt   %nxt,  %end
+
+Syntax: one instruction per line; ``%name`` are SSA values, ``$name``
+are queues, bare tokens are integer immediates (decimal or 0x hex);
+``;`` or ``#`` start comments. ``mov`` with an immediate is a
+configuration-time constant; ``reg %r`` declares a loop-carried
+register whose input is connected with ``setreg %r, %value``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import DFGBuilder
+from repro.ir.dfg import DataflowGraph
+
+
+class AsmParseError(Exception):
+    """Syntax or semantic error in stage pseudo-assembly."""
+
+
+# mnemonic -> (DFGBuilder method, number of value operands)
+_BINARY_OPS = {
+    "add": "add", "sub": "sub", "mul": "mul",
+    "and": "and_", "or": "or_", "xor": "xor",
+    "shl": "shl", "shr": "shr",
+    "cmplt": "lt", "cmpeq": "eq",
+    "fadd": "fadd", "fmul": "fmul",
+}
+
+# Branch-style comparisons: two sources, optional branch-target label
+# (ignored — control flow becomes predication on the fabric, Fig. 6).
+_BRANCH_OPS = {"blt": "lt", "beq": "eq"}
+
+
+def parse_stage_asm(name: str, text: str) -> DataflowGraph:
+    """Parse pseudo-assembly into a validated dataflow graph."""
+    builder = DFGBuilder(name)
+    values: dict = {}
+
+    def value(token: str, line_no: int):
+        if token.startswith("%"):
+            try:
+                return values[token]
+            except KeyError:
+                raise AsmParseError(
+                    f"{name}:{line_no}: use of undefined value {token}"
+                    ) from None
+        try:
+            literal = int(token, 0)
+        except ValueError:
+            raise AsmParseError(
+                f"{name}:{line_no}: expected %value or immediate, got "
+                f"{token!r}") from None
+        return builder.const(literal)
+
+    def define(token: str, node, line_no: int):
+        if not token.startswith("%"):
+            raise AsmParseError(
+                f"{name}:{line_no}: destination must be a %value, got "
+                f"{token!r}")
+        values[token] = node
+
+    def queue(token: str, line_no: int) -> str:
+        if not token.startswith("$"):
+            raise AsmParseError(
+                f"{name}:{line_no}: expected $queue, got {token!r}")
+        return token[1:]
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        parts = [p for p in line.replace(",", " ").split() if p]
+        op, args = parts[0].lower(), parts[1:]
+
+        def arity(n: int):
+            if len(args) != n:
+                raise AsmParseError(
+                    f"{name}:{line_no}: {op} takes {n} operands, got "
+                    f"{len(args)}")
+
+        if op == "deq":
+            arity(2)
+            define(args[0], builder.deq(queue(args[1], line_no)), line_no)
+        elif op == "enq":
+            arity(2)
+            builder.enq(queue(args[0], line_no), value(args[1], line_no))
+        elif op == "mov":
+            arity(2)
+            define(args[0], value(args[1], line_no), line_no)
+        elif op == "lea":
+            arity(3)
+            define(args[0], builder.lea(value(args[1], line_no),
+                                        value(args[2], line_no)), line_no)
+        elif op == "ld":
+            arity(2)
+            define(args[0], builder.load(value(args[1], line_no)), line_no)
+        elif op == "st":
+            arity(2)
+            builder.store(value(args[0], line_no), value(args[1], line_no))
+        elif op in ("addi", "subi", "muli"):
+            arity(3)
+            method = {"addi": "add", "subi": "sub", "muli": "mul"}[op]
+            define(args[0], getattr(builder, method)(
+                value(args[1], line_no), value(args[2], line_no)), line_no)
+        elif op in _BRANCH_OPS:
+            if len(args) not in (2, 3):
+                raise AsmParseError(
+                    f"{name}:{line_no}: {op} takes 2 sources and an "
+                    f"optional label, got {len(args)} operands")
+            getattr(builder, _BRANCH_OPS[op])(
+                value(args[0], line_no), value(args[1], line_no))
+        elif op in _BINARY_OPS:
+            arity(3)
+            define(args[0], getattr(builder, _BINARY_OPS[op])(
+                value(args[1], line_no), value(args[2], line_no)), line_no)
+        elif op == "sel":
+            arity(4)
+            define(args[0], builder.sel(value(args[1], line_no),
+                                        value(args[2], line_no),
+                                        value(args[3], line_no)), line_no)
+        elif op == "fma":
+            arity(4)
+            define(args[0], builder.fma(value(args[1], line_no),
+                                        value(args[2], line_no),
+                                        value(args[3], line_no)), line_no)
+        elif op == "reg":
+            arity(1)
+            define(args[0], builder.reg(args[0][1:]), line_no)
+        elif op == "setreg":
+            arity(2)
+            target = values.get(args[0])
+            if target is None:
+                raise AsmParseError(
+                    f"{name}:{line_no}: setreg of undeclared register "
+                    f"{args[0]}")
+            builder.set_reg(target, value(args[1], line_no))
+        else:
+            raise AsmParseError(
+                f"{name}:{line_no}: unknown mnemonic {op!r}")
+
+    return builder.finish()

@@ -1,0 +1,105 @@
+"""Fluent construction of stage dataflow graphs.
+
+Workloads describe each stage's datapath with a :class:`DFGBuilder`,
+mirroring the lowering of paper Fig. 5/6 (annotated source -> LLVM IR ->
+DFG). The builder methods correspond one-to-one to functional-unit
+operations.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DataflowGraph, Node
+from repro.ir.ops import Op, OpKind
+
+
+class DFGBuilder:
+    """Builds a :class:`DataflowGraph` op by op."""
+
+    def __init__(self, name: str):
+        self.graph = DataflowGraph(name)
+
+    def finish(self) -> DataflowGraph:
+        self.graph.validate()
+        return self.graph
+
+    # -- fabric edges --------------------------------------------------
+
+    def deq(self, queue: str) -> Node:
+        return self.graph.add(Op(OpKind.DEQ, queue))
+
+    def enq(self, queue: str, value: Node) -> Node:
+        return self.graph.add(Op(OpKind.ENQ, queue), value)
+
+    # -- constants and state --------------------------------------------
+
+    def const(self, value) -> Node:
+        return self.graph.add(Op(OpKind.CONST, value))
+
+    def reg(self, name: str) -> Node:
+        """A loop-carried register; connect its input with ``set_reg``."""
+        return self.graph.add(Op(OpKind.REG, name))
+
+    def set_reg(self, reg: Node, value: Node) -> None:
+        self.graph.set_reg_input(reg, value)
+
+    # -- integer ALU -----------------------------------------------------
+
+    def add(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.ADD), a, b)
+
+    def sub(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.SUB), a, b)
+
+    def mul(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.MUL), a, b)
+
+    def and_(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.AND), a, b)
+
+    def or_(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.OR), a, b)
+
+    def xor(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.XOR), a, b)
+
+    def shl(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.SHL), a, b)
+
+    def shr(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.SHR), a, b)
+
+    def lt(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.CMP_LT), a, b)
+
+    def eq(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.CMP_EQ), a, b)
+
+    def sel(self, cond: Node, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.SEL), cond, a, b)
+
+    def lea(self, base: Node, index: Node, scale: int = 8) -> Node:
+        """Address generation: ``base + index * scale``."""
+        return self.graph.add(Op(OpKind.LEA, scale), base, index)
+
+    def ctrl(self, value: Node) -> Node:
+        """Control-value steering/predication of ``value``."""
+        return self.graph.add(Op(OpKind.CTRL), value)
+
+    # -- memory ----------------------------------------------------------
+
+    def load(self, addr: Node) -> Node:
+        return self.graph.add(Op(OpKind.LD), addr)
+
+    def store(self, addr: Node, value: Node) -> Node:
+        return self.graph.add(Op(OpKind.ST), addr, value)
+
+    # -- floating point (FMA units) ---------------------------------------
+
+    def fadd(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.FADD), a, b)
+
+    def fmul(self, a: Node, b: Node) -> Node:
+        return self.graph.add(Op(OpKind.FMUL), a, b)
+
+    def fma(self, a: Node, b: Node, acc: Node) -> Node:
+        return self.graph.add(Op(OpKind.FMA), a, b, acc)

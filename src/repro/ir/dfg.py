@@ -1,0 +1,158 @@
+"""Dataflow graphs (DFGs) for pipeline stages.
+
+A DFG is a directed graph of :class:`Node` operations. Forward edges
+carry operands between functional units; back-edges are only allowed
+into ``REG`` nodes (loop-carried state). ``levels()`` computes an ASAP
+levelization ignoring register back-edges, which the mapper uses for
+row-by-row placement and to derive the configuration's pipeline depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ir.ops import Op, OpKind, OP_INFO
+
+
+class DFGError(Exception):
+    """Structural problem in a dataflow graph."""
+
+
+@dataclass
+class Node:
+    """One operation in a DFG."""
+
+    node_id: int
+    op: Op
+    operands: tuple = ()
+
+    @property
+    def kind(self) -> OpKind:
+        return self.op.kind
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __repr__(self) -> str:
+        ops = ",".join(f"n{o.node_id}" for o in self.operands)
+        return f"n{self.node_id}={self.op}({ops})"
+
+
+@dataclass
+class DataflowGraph:
+    """A stage's computation as a feed-forward graph of FU operations."""
+
+    name: str
+    nodes: list[Node] = field(default_factory=list)
+
+    def add(self, op: Op, *operands: Node) -> Node:
+        info = OP_INFO[op.kind]
+        if info.arity >= 0 and len(operands) != info.arity:
+            raise DFGError(
+                f"{op}: expected {info.arity} operands, got {len(operands)}")
+        for operand in operands:
+            if operand not in self.nodes:
+                raise DFGError(f"operand {operand!r} is not in graph {self.name!r}")
+        node = Node(len(self.nodes), op, tuple(operands))
+        self.nodes.append(node)
+        return node
+
+    def set_reg_input(self, reg: Node, value: Node) -> None:
+        """Connect the loop-carried input of a REG node (a back-edge)."""
+        if reg.kind is not OpKind.REG:
+            raise DFGError(f"{reg!r} is not a REG node")
+        if value not in self.nodes:
+            raise DFGError(f"{value!r} is not in graph {self.name!r}")
+        reg.operands = (value,)
+
+    # -- queries -----------------------------------------------------------
+
+    def inputs(self) -> list[Node]:
+        return [n for n in self.nodes if n.kind is OpKind.DEQ]
+
+    def outputs(self) -> list[Node]:
+        return [n for n in self.nodes if n.kind in (OpKind.ENQ, OpKind.ST)]
+
+    def input_queues(self) -> list[str]:
+        return [n.op.attr for n in self.inputs()]
+
+    def output_queues(self) -> list[str]:
+        return [n.op.attr for n in self.nodes if n.kind is OpKind.ENQ]
+
+    @property
+    def n_fma_ops(self) -> int:
+        return sum(1 for n in self.nodes if OP_INFO[n.kind].needs_fma)
+
+    @property
+    def n_memory_ops(self) -> int:
+        return sum(1 for n in self.nodes if OP_INFO[n.kind].is_memory)
+
+    @property
+    def n_compute_ops(self) -> int:
+        """Ops that occupy a functional unit (everything but queue edges)."""
+        return sum(1 for n in self.nodes if not OP_INFO[n.kind].is_edge)
+
+    # -- structure ---------------------------------------------------------
+
+    def _forward_operands(self, node: Node) -> Iterable[Node]:
+        """Operand edges excluding REG back-edges."""
+        if node.kind is OpKind.REG:
+            return ()
+        return node.operands
+
+    def validate(self) -> None:
+        """Check the graph is feed-forward apart from REG back-edges."""
+        if not self.nodes:
+            raise DFGError(f"graph {self.name!r} is empty")
+        self.levels()  # raises on cycles
+
+    def levels(self) -> list[list[Node]]:
+        """ASAP levelization: level of a node = 1 + max(level of operands).
+
+        REG back-edges are ignored (a REG sources its value from the
+        previous traversal of the pipeline). Raises :class:`DFGError` on
+        a combinational cycle.
+        """
+        level: dict[int, int] = {}
+        state: dict[int, int] = {}  # 0=unvisited, 1=on stack, 2=done
+
+        def visit(node: Node) -> int:
+            seen = state.get(node.node_id, 0)
+            if seen == 1:
+                raise DFGError(
+                    f"graph {self.name!r} has a combinational cycle through "
+                    f"{node!r}")
+            if seen == 2:
+                return level[node.node_id]
+            state[node.node_id] = 1
+            depth = 0
+            for operand in self._forward_operands(node):
+                depth = max(depth, visit(operand) + 1)
+            state[node.node_id] = 2
+            level[node.node_id] = depth
+            return depth
+
+        for node in self.nodes:
+            visit(node)
+        if not level:
+            return []
+        n_levels = max(level.values()) + 1
+        result: list[list[Node]] = [[] for _ in range(n_levels)]
+        for node in self.nodes:
+            result[level[node.node_id]].append(node)
+        return result
+
+    @property
+    def depth(self) -> int:
+        """Number of dataflow levels (combinational pipeline stages)."""
+        return len(self.levels())
+
+    def pseudo_assembly(self) -> str:
+        """Render the DFG in the pseudo-assembly style of paper Fig. 6."""
+        lines = []
+        for node in self.nodes:
+            ops = ", ".join(f"%n{o.node_id}" for o in node.operands)
+            attr = f" ${node.op.attr}" if node.op.attr is not None else ""
+            lines.append(f"  %n{node.node_id} = {node.kind.value}{attr} {ops}".rstrip())
+        return f"{self.name}:\n" + "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Operation set of the CGRA functional units.
+
+Functional units contain an integer ALU at machine word width capable of
+elementary operations (arithmetic, shifts, bitwise ops), plus a few
+double-precision FMA units distributed across the fabric (paper Sec. 3).
+``DEQ``/``ENQ`` are the fabric-edge queue ports, ``LD``/``ST`` the cache
+interface, and ``REG`` a state element that carries values across cycles
+(loop counters, accumulators — paper Sec. 3 "Registers also allow the
+CGRA to retain program state").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    CONST = "const"     # configuration-time constant
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMP_LT = "cmp_lt"
+    CMP_EQ = "cmp_eq"
+    SEL = "sel"         # select(cond, a, b)
+    LEA = "lea"         # base + index * scale
+    LD = "ld"           # coupled load from cache
+    ST = "st"           # store to cache
+    FADD = "fadd"       # double-precision (uses an FMA unit)
+    FMUL = "fmul"       # double-precision (uses an FMA unit)
+    FMA = "fma"         # double-precision fused multiply-add
+    DEQ = "deq"         # dequeue from an input queue (fabric edge)
+    ENQ = "enq"         # enqueue to an output queue (fabric edge)
+    REG = "reg"         # loop-carried state register
+    CTRL = "ctrl"       # control-value handling (predication/steering)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one op kind."""
+
+    arity: int          # number of dataflow operands (-1: variable)
+    needs_fma: bool     # must be placed on an FMA-capable unit
+    is_edge: bool       # sits at the fabric edge (queue I/O)
+    is_memory: bool     # uses the cache port
+
+
+OP_INFO: dict[OpKind, OpInfo] = {
+    OpKind.CONST: OpInfo(0, False, False, False),
+    OpKind.ADD: OpInfo(2, False, False, False),
+    OpKind.SUB: OpInfo(2, False, False, False),
+    OpKind.MUL: OpInfo(2, False, False, False),
+    OpKind.AND: OpInfo(2, False, False, False),
+    OpKind.OR: OpInfo(2, False, False, False),
+    OpKind.XOR: OpInfo(2, False, False, False),
+    OpKind.SHL: OpInfo(2, False, False, False),
+    OpKind.SHR: OpInfo(2, False, False, False),
+    OpKind.CMP_LT: OpInfo(2, False, False, False),
+    OpKind.CMP_EQ: OpInfo(2, False, False, False),
+    OpKind.SEL: OpInfo(3, False, False, False),
+    OpKind.LEA: OpInfo(2, False, False, False),
+    OpKind.LD: OpInfo(1, False, False, True),
+    OpKind.ST: OpInfo(2, False, False, True),
+    OpKind.FADD: OpInfo(2, True, False, False),
+    OpKind.FMUL: OpInfo(2, True, False, False),
+    OpKind.FMA: OpInfo(3, True, False, False),
+    OpKind.DEQ: OpInfo(0, False, True, False),
+    OpKind.ENQ: OpInfo(1, False, True, False),
+    # REG is created without operands; its loop-carried input (a
+    # back-edge) is connected afterwards via DataflowGraph.set_reg_input.
+    OpKind.REG: OpInfo(0, False, False, False),
+    OpKind.CTRL: OpInfo(1, False, False, False),
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """An op kind plus an optional attribute (constant, queue name, scale)."""
+
+    kind: OpKind
+    attr: object = None
+
+    def __str__(self) -> str:
+        if self.attr is None:
+            return self.kind.value
+        return f"{self.kind.value}({self.attr})"

@@ -1,0 +1,56 @@
+"""Functional memory view: address -> value over registered numpy arrays.
+
+Decoupled reference machines perform loads on a stage's behalf (paper
+Sec. 5.4); they receive raw addresses, so they need a way to resolve an
+address to the value stored there. ``MemoryMap`` binds each allocated
+region's :class:`~repro.memory.address.ArrayRef` to its backing numpy
+array and resolves reads/writes by bisecting the sorted region bases.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.memory.address import ArrayRef
+
+
+class MemoryMapError(Exception):
+    """Address does not fall in any registered region."""
+
+
+class MemoryMap:
+    """Address-to-value resolution over registered arrays."""
+
+    def __init__(self):
+        self._bases: list[int] = []
+        self._entries: list[tuple[ArrayRef, Any]] = []
+
+    def register(self, ref: ArrayRef, array) -> None:
+        """Bind ``array`` (numpy or any indexable) to region ``ref``."""
+        index = bisect.bisect_left(self._bases, ref.base)
+        if index < len(self._bases) and self._bases[index] == ref.base:
+            raise MemoryMapError(f"region at {ref.base:#x} already registered")
+        self._bases.insert(index, ref.base)
+        self._entries.insert(index, (ref, array))
+
+    def _resolve(self, addr: int) -> tuple[ArrayRef, Any, int]:
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index >= 0:
+            ref, array = self._entries[index]
+            offset = addr - ref.base
+            if offset < ref.region.size:
+                return ref, array, offset // ref.elem_bytes
+        raise MemoryMapError(f"address {addr:#x} is unmapped")
+
+    def read(self, addr: int):
+        ref, array, elem = self._resolve(addr)
+        return array[elem]
+
+    def write(self, addr: int, value) -> None:
+        ref, array, elem = self._resolve(addr)
+        array[elem] = value
+
+    def elem_bytes_at(self, addr: int) -> int:
+        ref, _, _ = self._resolve(addr)
+        return ref.elem_bytes

@@ -1,0 +1,16 @@
+"""Latency-insensitive channel substrate.
+
+Queues carry data tokens and *control values* (paper Sec. 5.5): a control
+bit travels alongside each word, delineating iteration boundaries and
+carrying point-to-point synchronization. Queues are virtualized on a
+small per-PE queue memory (paper Sec. 3); inter-PE queues with multiple
+producers use credit-based flow control (paper Sec. 5.6).
+"""
+
+from repro.queues.queue import Queue, QueueFullError, QueueEmptyError, Token
+from repro.queues.queue_memory import QueueMemory, QueueSpec
+
+__all__ = [
+    "Queue", "QueueFullError", "QueueEmptyError", "Token",
+    "QueueMemory", "QueueSpec",
+]

@@ -1,0 +1,133 @@
+"""FIFO queues with control values and credit-based flow control.
+
+A queue stores :class:`Token` entries. Data tokens occupy ``entry_words``
+words of queue memory; control tokens always occupy one word (a control
+value is a single word plus the control bit, paper Sec. 5.5).
+
+Queues declared with multiple producers implement the paper's
+credit-based flow control (Sec. 5.6): free space is divided evenly
+across producers as credits; a producer stalls when it runs out of
+credits, and a credit returns to the producer that enqueued the token
+when it is dequeued.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Sequence
+
+
+class QueueFullError(Exception):
+    """Enqueue attempted with no space/credit available."""
+
+
+class QueueEmptyError(Exception):
+    """Dequeue attempted on an empty queue."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One queue entry: a value plus the control bit."""
+
+    value: Any
+    is_control: bool = False
+    producer: Optional[Hashable] = None
+
+    def words(self, entry_words: int) -> int:
+        return 1 if self.is_control else entry_words
+
+
+class Queue:
+    """A FIFO channel virtualized in a PE's queue memory.
+
+    ``capacity_words`` bounds total occupancy in machine words.
+    ``entry_words`` is the width of one data token (e.g., a
+    ``(start, end)`` pair is two words). ``producers`` enables
+    credit-based flow control when it names more than one producer.
+    """
+
+    def __init__(self, name: str, capacity_words: int, entry_words: int = 1,
+                 producers: Sequence[Hashable] = (),
+                 control_only: bool = False):
+        self.control_only = control_only
+        if capacity_words < entry_words:
+            raise ValueError(
+                f"queue {name!r}: capacity {capacity_words} words cannot hold "
+                f"one {entry_words}-word entry")
+        self.name = name
+        self.capacity_words = capacity_words
+        self.entry_words = entry_words
+        self._tokens: deque[Token] = deque()
+        self._occupancy_words = 0
+        self.total_enqueued = 0
+        self.producers = tuple(producers)
+        self._credits: Optional[dict[Hashable, int]] = None
+        if len(self.producers) > 1:
+            share = capacity_words // len(self.producers)
+            if share < entry_words:
+                raise ValueError(
+                    f"queue {name!r}: per-producer credit share {share} words "
+                    f"cannot hold one {entry_words}-word entry")
+            self._credits = {p: share for p in self.producers}
+
+    # -- occupancy ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def occupancy_words(self) -> int:
+        return self._occupancy_words
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity_words - self._occupancy_words
+
+    def is_empty(self) -> bool:
+        return not self._tokens
+
+    # -- enqueue side ------------------------------------------------------
+
+    def can_enq(self, producer: Optional[Hashable] = None,
+                is_control: bool = False) -> bool:
+        words = 1 if is_control else self.entry_words
+        if self._credits is not None:
+            if producer not in self._credits:
+                raise KeyError(
+                    f"queue {self.name!r}: unknown producer {producer!r}")
+            return self._credits[producer] >= words
+        return self.free_words >= words
+
+    def enq(self, value: Any, is_control: bool = False,
+            producer: Optional[Hashable] = None) -> None:
+        if not self.can_enq(producer, is_control):
+            raise QueueFullError(
+                f"queue {self.name!r} full (producer {producer!r})")
+        token = Token(value, is_control, producer)
+        words = token.words(self.entry_words)
+        if self._credits is not None:
+            self._credits[producer] -= words
+        self._tokens.append(token)
+        self._occupancy_words += words
+        self.total_enqueued += 1
+
+    # -- dequeue side ------------------------------------------------------
+
+    def can_deq(self) -> bool:
+        return bool(self._tokens)
+
+    def peek(self) -> Token:
+        if not self._tokens:
+            raise QueueEmptyError(f"queue {self.name!r} empty")
+        return self._tokens[0]
+
+    def deq(self) -> Token:
+        if not self._tokens:
+            raise QueueEmptyError(f"queue {self.name!r} empty")
+        token = self._tokens.popleft()
+        words = token.words(self.entry_words)
+        self._occupancy_words -= words
+        if self._credits is not None:
+            self._credits[token.producer] += words
+        return token

@@ -1,0 +1,8 @@
+"""Statistics: counters, CPI stacks, residence-time tracking."""
+
+from repro.stats.counters import Counters
+from repro.stats.cpi_stack import CPI_BUCKETS, cpi_stack, merge_stacks
+from repro.stats.trace import ActivationEvent, ActivationTracer
+
+__all__ = ["Counters", "CPI_BUCKETS", "cpi_stack", "merge_stacks",
+           "ActivationEvent", "ActivationTracer"]

@@ -1,0 +1,35 @@
+"""A thin counter map with dict-like access and merging."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Counters:
+    """Named floating-point counters (missing names read as zero)."""
+
+    def __init__(self):
+        self._values: defaultdict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def __getitem__(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def __setitem__(self, name: str, value: float) -> None:
+        self._values[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.6g}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"

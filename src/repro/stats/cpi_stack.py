@@ -1,0 +1,48 @@
+"""CPI-stack cycle breakdowns (paper Fig. 14).
+
+The paper extends the CPI-stack methodology of Eyerman et al. to PEs,
+reporting cycles spent (1) performing useful computation ("issued"),
+(2) waiting on backend/CGRA stalls from non-decoupled loads, (3) full or
+empty queues, (4) reconfigurations, and (5) idle (a PE completely
+inactive waiting on others, e.g., a barrier).
+"""
+
+from __future__ import annotations
+
+from repro.stats.counters import Counters
+
+CPI_BUCKETS = ("issued", "stall_mem", "queue", "reconfig", "idle")
+
+# PE counter names folded into each reported bucket.
+_BUCKET_SOURCES = {
+    "issued": ("issued",),
+    "stall_mem": ("stall_mem",),
+    "queue": ("stall_queue_full", "stall_queue_empty"),
+    "reconfig": ("reconfig",),
+    "idle": ("idle",),
+}
+
+
+def cpi_stack(counters: Counters, total_cycles: float) -> dict[str, float]:
+    """Fold PE counters into the five reported buckets.
+
+    Any cycles not attributed by the counters (e.g., a PE that finished
+    early and sat inactive until the program ended) are charged to
+    ``idle`` so the buckets always sum to ``total_cycles``.
+    """
+    stack = {
+        bucket: sum(counters[name] for name in names)
+        for bucket, names in _BUCKET_SOURCES.items()
+    }
+    accounted = sum(stack.values())
+    stack["idle"] += max(0.0, total_cycles - accounted)
+    return stack
+
+
+def merge_stacks(stacks) -> dict[str, float]:
+    """Sum per-PE stacks into a system-level stack."""
+    merged = {bucket: 0.0 for bucket in CPI_BUCKETS}
+    for stack in stacks:
+        for bucket in CPI_BUCKETS:
+            merged[bucket] += stack.get(bucket, 0.0)
+    return merged

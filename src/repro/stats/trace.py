@@ -1,0 +1,102 @@
+"""Execution tracing: per-PE timelines of stage activations.
+
+Attach an :class:`ActivationTracer` to a :class:`~repro.core.system.System`
+before running to record every reconfiguration and activation with
+timestamps. The trace supports schedule inspection (which stages ran
+when, for how long) and renders an ASCII Gantt chart — useful for
+understanding Fifer's dynamic temporal pipelining and for debugging
+load imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ActivationEvent:
+    """One stage activation on one PE."""
+
+    pe_id: int
+    stage: str
+    start: float            # cycle the stage became active
+    reconfig_cycles: float  # dead time spent switching to it
+
+
+@dataclass
+class ActivationTracer:
+    """Collects activation events from all PEs of a system."""
+
+    events: list = field(default_factory=list)
+
+    def record(self, pe_id: int, stage: str, start: float,
+               reconfig_cycles: float) -> None:
+        self.events.append(ActivationEvent(pe_id, stage, start,
+                                           reconfig_cycles))
+
+    def attach(self, system) -> "ActivationTracer":
+        for pe in system.pes:
+            pe.tracer = self
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def per_pe(self) -> dict:
+        timelines: dict = {}
+        for event in self.events:
+            timelines.setdefault(event.pe_id, []).append(event)
+        for timeline in timelines.values():
+            timeline.sort(key=lambda e: e.start)
+        return timelines
+
+    def residences(self, end_cycle: float) -> list:
+        """(pe, stage, start, duration) for every activation."""
+        spans = []
+        for pe_id, timeline in self.per_pe().items():
+            for event, nxt in zip(timeline, timeline[1:] + [None]):
+                end = nxt.start if nxt is not None else end_cycle
+                spans.append((pe_id, event.stage, event.start,
+                              end - event.start))
+        return spans
+
+    def stage_cycle_share(self, end_cycle: float) -> dict:
+        """Total resident cycles per stage name across all PEs."""
+        shares: dict = {}
+        for _, stage, _, duration in self.residences(end_cycle):
+            shares[stage] = shares.get(stage, 0.0) + duration
+        return shares
+
+    # -- rendering -------------------------------------------------------------
+
+    def gantt(self, end_cycle: float, width: int = 72,
+              max_pes: int = 8) -> str:
+        """Render per-PE timelines as an ASCII Gantt chart.
+
+        Each stage gets a letter (assigned in first-seen order);
+        reconfiguration time is implicit in the span boundaries.
+        """
+        timelines = self.per_pe()
+        letters: dict = {}
+
+        def letter(stage: str) -> str:
+            if stage not in letters:
+                alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                letters[stage] = alphabet[len(letters) % len(alphabet)]
+            return letters[stage]
+
+        lines = []
+        scale = end_cycle / width if end_cycle else 1.0
+        for pe_id in sorted(timelines)[:max_pes]:
+            row = ["."] * width
+            for event, nxt in zip(timelines[pe_id],
+                                  timelines[pe_id][1:] + [None]):
+                end = nxt.start if nxt is not None else end_cycle
+                lo = min(width - 1, int(event.start / scale))
+                hi = min(width, max(lo + 1, int(end / scale)))
+                for x in range(lo, hi):
+                    row[x] = letter(event.stage)
+            lines.append(f"PE{pe_id:<3}|{''.join(row)}|")
+        legend = "  ".join(f"{v}={k}" for k, v in sorted(
+            letters.items(), key=lambda kv: kv[1]))
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Tests for the pseudo-assembly frontend (paper Fig. 5/6)."""
+
+import pytest
+
+from repro.cgra import FabricSpec, map_dfg
+from repro.config import FabricConfig
+from repro.ir import AsmParseError, DFGBuilder, OpKind, parse_stage_asm
+
+FIG6 = """
+; enumerate neighbors (paper Fig. 6)
+deq   %e,    $q_start
+deq   %end,  $q_end
+mov   %base, 0x1000
+lea   %addr, %base, %e
+ld    %ngh,  %addr
+enq   $q_ngh, %ngh
+addi  %nxt,  %e, 1
+blt   %nxt,  %end
+"""
+
+
+class TestParser:
+    def test_fig6_parses(self):
+        dfg = parse_stage_asm("enumerate", FIG6)
+        assert dfg.input_queues() == ["q_start", "q_end"]
+        assert dfg.output_queues() == ["q_ngh"]
+        kinds = {node.kind for node in dfg.nodes}
+        assert {OpKind.DEQ, OpKind.LEA, OpKind.LD, OpKind.ENQ,
+                OpKind.ADD, OpKind.CMP_LT} <= kinds
+
+    def test_parsed_matches_builder_equivalent(self):
+        parsed = parse_stage_asm("enumerate", FIG6)
+        b = DFGBuilder("enumerate")
+        e = b.deq("q_start")
+        end = b.deq("q_end")
+        base = b.const(0x1000)
+        addr = b.lea(base, e)
+        ngh = b.load(addr)
+        b.enq("q_ngh", ngh)
+        one = b.const(1)
+        nxt = b.add(e, one)
+        b.lt(nxt, end)
+        built = b.finish()
+        fabric = FabricSpec.from_config(FabricConfig())
+        mp, mb = map_dfg(parsed, fabric), map_dfg(built, fabric)
+        assert (mp.n_levels, mp.lane_width, mp.replication) == (
+            mb.n_levels, mb.lane_width, mb.replication)
+
+    def test_registers_and_setreg(self):
+        dfg = parse_stage_asm("acc", """
+            deq %x, $in
+            reg %acc
+            fadd %sum, %acc, %x
+            setreg %acc, %sum
+            enq $out, %sum
+        """)
+        regs = [n for n in dfg.nodes if n.kind is OpKind.REG]
+        assert len(regs) == 1
+        assert len(regs[0].operands) == 1  # back-edge connected
+
+    def test_stores_and_sel(self):
+        dfg = parse_stage_asm("upd", """
+            deq %v, $in
+            sel %m, %v, %v, %v
+            st  %m, %v
+        """)
+        assert dfg.n_memory_ops == 1
+
+    def test_comments_and_blank_lines(self):
+        dfg = parse_stage_asm("c", """
+
+            # a comment
+            deq %x, $in   ; trailing comment
+            enq $out, %x
+        """)
+        assert len(dfg.nodes) == 2
+
+    def test_hex_and_decimal_immediates(self):
+        dfg = parse_stage_asm("imm", """
+            deq %x, $in
+            addi %a, %x, 0x10
+            addi %b, %x, 16
+            enq $out, %a
+            enq $out, %b
+        """)
+        consts = [n for n in dfg.nodes if n.kind is OpKind.CONST]
+        assert {n.op.attr for n in consts} == {16}
+
+    def test_undefined_value_rejected(self):
+        with pytest.raises(AsmParseError, match="undefined value"):
+            parse_stage_asm("bad", "enq $out, %nope")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AsmParseError, match="unknown mnemonic"):
+            parse_stage_asm("bad", "frobnicate %x, %y")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AsmParseError, match="takes 2 operands"):
+            parse_stage_asm("bad", "deq %x, $a, $b")
+
+    def test_bad_queue_token_rejected(self):
+        with pytest.raises(AsmParseError, match="expected .queue"):
+            parse_stage_asm("bad", "deq %x, notaqueue")
+
+    def test_bad_destination_rejected(self):
+        with pytest.raises(AsmParseError, match="destination"):
+            parse_stage_asm("bad", "deq 5, $q")
+
+    def test_setreg_without_reg_rejected(self):
+        with pytest.raises(AsmParseError, match="undeclared register"):
+            parse_stage_asm("bad", """
+                deq %x, $in
+                setreg %r, %x
+            """)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AsmParseError, match=":3:"):
+            parse_stage_asm("bad", "deq %x, $in\nenq $o, %x\nbogus %y")

@@ -1,0 +1,118 @@
+"""Tests for the energy/area models and CPI-stack statistics."""
+
+import pytest
+
+from repro.energy import (EnergyModel, PE_AREA_BREAKDOWN_MM2,
+                          ooo_core_area_mm2, pe_area_mm2)
+from repro.energy.area import PE_FRACTION_OF_CORE, system_area_mm2
+from repro.harness import gmean, format_table, prepare_input, run_experiment
+from repro.stats import Counters, CPI_BUCKETS, cpi_stack, merge_stacks
+
+
+class TestArea:
+    def test_table1_total(self):
+        assert pe_area_mm2() == pytest.approx(1.34, abs=0.01)
+
+    def test_breakdown_components(self):
+        assert PE_AREA_BREAKDOWN_MM2["reconfigurable_fabric_16x5"] == 0.91
+        assert PE_AREA_BREAKDOWN_MM2["data_cache_32kb"] == 0.22
+
+    def test_pe_is_4_6_percent_of_core(self):
+        assert pe_area_mm2() / ooo_core_area_mm2() == pytest.approx(
+            PE_FRACTION_OF_CORE)
+
+    def test_16_pes_smaller_than_4_cores(self):
+        """The paper's provisioning: 16 PEs use less area than 4 cores."""
+        pes = system_area_mm2(n_pes=16)
+        cores = system_area_mm2(n_cores=4)
+        assert pes < cores
+
+
+class TestCounters:
+    def test_missing_reads_zero(self):
+        c = Counters()
+        assert c["nothing"] == 0.0
+
+    def test_add_and_merge(self):
+        a, b = Counters(), Counters()
+        a.add("x", 2)
+        b.add("x", 3)
+        b.add("y")
+        a.merge(b)
+        assert a["x"] == 5 and a["y"] == 1
+
+    def test_as_dict(self):
+        c = Counters()
+        c.add("x", 1.5)
+        assert c.as_dict() == {"x": 1.5}
+
+
+class TestCPIStack:
+    def test_buckets_sum_to_total(self):
+        c = Counters()
+        c.add("issued", 10)
+        c.add("stall_mem", 5)
+        c.add("stall_queue_full", 3)
+        c.add("stall_queue_empty", 2)
+        c.add("reconfig", 4)
+        stack = cpi_stack(c, total_cycles=30)
+        assert sum(stack.values()) == pytest.approx(30)
+        assert stack["queue"] == 5
+        assert stack["idle"] == 6  # 30 - 24 accounted
+
+    def test_unaccounted_cycles_become_idle(self):
+        stack = cpi_stack(Counters(), total_cycles=100)
+        assert stack["idle"] == 100
+
+    def test_merge_stacks(self):
+        merged = merge_stacks([{b: 1.0 for b in CPI_BUCKETS},
+                               {b: 2.0 for b in CPI_BUCKETS}])
+        assert all(merged[b] == 3.0 for b in CPI_BUCKETS)
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def results(self):
+        prepared = prepare_input("bfs", "Hu", scale=0.15)
+        return {system: run_experiment("bfs", "Hu", system,
+                                       prepared=prepared)
+                for system in ("serial", "multicore", "static", "fifer")}
+
+    def test_all_buckets_nonnegative(self, results):
+        for result in results.values():
+            assert all(v >= 0 for v in result.energy.values())
+
+    def test_ooo_compute_heavier_than_cgra(self, results):
+        """The paper's core claim: instruction interpretation overheads
+        dominate OOO energy; CGRAs avoid them."""
+        ooo = results["multicore"].energy
+        cgra = results["fifer"].energy
+        assert ooo["compute"] > cgra["compute"]
+
+    def test_cgra_systems_use_less_total_energy(self, results):
+        for cgra in ("static", "fifer"):
+            assert (sum(results[cgra].energy.values())
+                    < sum(results["multicore"].energy.values()))
+
+    def test_leakage_scales_with_runtime(self):
+        model = EnergyModel()
+        assert model._leakage(10.0, 2000) == pytest.approx(
+            2 * model._leakage(10.0, 1000))
+
+
+class TestFormatting:
+    def test_gmean(self):
+        assert gmean([1, 4]) == pytest.approx(2.0)
+        assert gmean([2, 2, 2]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            gmean([])
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bbb"], [["x", 1], ["yyyy", 22]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width

@@ -1,0 +1,26 @@
+"""Smoke tests: every example script runs to completion and verifies
+its own results (each asserts against a golden reference internally)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_present():
+    assert {"quickstart.py", "graph_analytics.py", "spmm_intersection.py",
+            "silo_database.py", "custom_pipeline.py", "database_join.py",
+            "pipeline_visualizer.py"} <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

@@ -1,0 +1,211 @@
+"""Unit tests for the dataflow IR, mapper, and bitstream generation."""
+
+import pytest
+
+from repro.cgra import (FabricSpec, UnmappableStageError, map_dfg,
+                        generate_bitstream, parse_bitstream)
+from repro.cgra.bitstream import BitstreamError
+from repro.config import FabricConfig
+from repro.ir import DFGBuilder, DFGError, OpKind
+
+
+def _fabric(**kwargs):
+    return FabricSpec.from_config(FabricConfig(**kwargs))
+
+
+def _bfs_enumerate_dfg():
+    """The enumerate-neighbors stage of paper Fig. 6."""
+    b = DFGBuilder("enumerate")
+    e = b.deq("q_start")
+    end = b.deq("q_end")
+    base = b.const(0x1000)
+    addr = b.lea(base, e)
+    ngh = b.load(addr)
+    b.enq("q_ngh", ngh)
+    one = b.const(1)
+    nxt = b.add(e, one)
+    b.lt(nxt, end)
+    return b.finish()
+
+
+class TestDFG:
+    def test_levels_are_topological(self):
+        dfg = _bfs_enumerate_dfg()
+        levels = dfg.levels()
+        position = {}
+        for i, level in enumerate(levels):
+            for node in level:
+                position[node.node_id] = i
+        for node in dfg.nodes:
+            for operand in node.operands:
+                if node.kind is not OpKind.REG:
+                    assert position[operand.node_id] < position[node.node_id]
+
+    def test_input_output_queues(self):
+        dfg = _bfs_enumerate_dfg()
+        assert dfg.input_queues() == ["q_start", "q_end"]
+        assert dfg.output_queues() == ["q_ngh"]
+
+    def test_cycle_detection(self):
+        b = DFGBuilder("cyclic")
+        x = b.deq("in")
+        y = b.add(x, x)
+        # Force a combinational cycle by rewriting operands.
+        y.operands = (y, x)
+        with pytest.raises(DFGError):
+            b.graph.levels()
+
+    def test_reg_back_edge_is_legal(self):
+        b = DFGBuilder("acc")
+        x = b.deq("in")
+        acc = b.reg("acc")
+        total = b.add(acc, x)
+        b.set_reg(acc, total)
+        dfg = b.finish()
+        assert dfg.depth >= 2
+
+    def test_wrong_arity_rejected(self):
+        b = DFGBuilder("bad")
+        x = b.deq("in")
+        with pytest.raises(DFGError):
+            b.graph.add(b.graph.nodes[0].op.__class__(OpKind.ADD), x)
+
+    def test_foreign_operand_rejected(self):
+        b1 = DFGBuilder("one")
+        x = b1.deq("in")
+        b2 = DFGBuilder("two")
+        with pytest.raises(DFGError):
+            b2.add(x, x)
+
+    def test_pseudo_assembly_renders(self):
+        text = _bfs_enumerate_dfg().pseudo_assembly()
+        assert "enumerate:" in text
+        assert "ld" in text and "lea" in text
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(DFGError):
+            DFGBuilder("empty").finish()
+
+
+class TestMapper:
+    def test_mapping_reports_shape(self):
+        mapping = map_dfg(_bfs_enumerate_dfg(), _fabric())
+        assert mapping.n_levels >= 3
+        assert 1 <= mapping.lane_width <= 16
+        assert mapping.replication >= 1
+        assert mapping.depth_cycles == 2 * mapping.n_levels + 1
+
+    def test_replication_fills_columns(self):
+        mapping = map_dfg(_bfs_enumerate_dfg(), _fabric())
+        assert mapping.lane_width * mapping.replication <= 16
+
+    def test_fma_limits_replication(self):
+        b = DFGBuilder("fp")
+        x = b.deq("in")
+        acc = b.reg("acc")
+        total = b.fma(x, x, acc)
+        b.set_reg(acc, total)
+        b.enq("out", total)
+        mapping = map_dfg(b.finish(), _fabric(fma_units=2))
+        assert mapping.replication <= 2
+
+    def test_too_many_fma_unmappable(self):
+        b = DFGBuilder("fp")
+        x = b.deq("in")
+        y = b.fadd(x, x)
+        for _ in range(5):
+            y = b.fadd(y, y)
+        b.enq("out", y)
+        with pytest.raises(UnmappableStageError):
+            map_dfg(b.finish(), _fabric(fma_units=4))
+
+    def test_wide_level_unmappable(self):
+        b = DFGBuilder("wide")
+        x = b.deq("in")
+        outs = [b.add(x, b.const(i)) for i in range(40)]
+        for i, out in enumerate(outs):
+            b.enq(f"o{i}", out)
+        with pytest.raises(UnmappableStageError):
+            map_dfg(b.finish(), _fabric())
+
+    def test_deep_graph_folds_onto_rows(self):
+        b = DFGBuilder("deep")
+        x = b.deq("in")
+        y = x
+        for _ in range(12):  # 12 levels > 5 rows
+            y = b.add(y, y)
+        b.enq("out", y)
+        mapping = map_dfg(b.finish(), _fabric())
+        assert mapping.n_levels >= 12
+        rows = {coords[0] for coords in mapping.placement.values()}
+        assert rows <= set(range(5))
+
+    def test_max_replication_cap(self):
+        mapping = map_dfg(_bfs_enumerate_dfg(), _fabric(), max_replication=2)
+        assert mapping.replication <= 2
+
+    def test_placement_respects_capacity(self):
+        mapping = map_dfg(_bfs_enumerate_dfg(), _fabric())
+        assert len(set(mapping.placement.values())) == len(mapping.placement)
+
+
+class TestBitstream:
+    def test_round_trip(self):
+        dfg = _bfs_enumerate_dfg()
+        fabric = _fabric()
+        mapping = map_dfg(dfg, fabric)
+        data = generate_bitstream(dfg, mapping)
+        assert len(data) == fabric.config_bytes
+        info, cells = parse_bitstream(data, fabric)
+        assert info["replication"] == mapping.replication
+        assert info["lane_width"] == mapping.lane_width
+        assert info["n_levels"] == mapping.n_levels
+        # Every placed compute op appears in the parsed cells.
+        assert len(cells) == len(mapping.placement)
+        kinds = {kind for kind, _ in cells.values()}
+        assert OpKind.LD in kinds and OpKind.LEA in kinds
+
+    def test_checksum_detects_corruption(self):
+        dfg = _bfs_enumerate_dfg()
+        fabric = _fabric()
+        data = bytearray(generate_bitstream(dfg, map_dfg(dfg, fabric)))
+        data[20] ^= 0xFF
+        with pytest.raises(BitstreamError):
+            parse_bitstream(bytes(data), fabric)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(BitstreamError):
+            parse_bitstream(b"\x00" * 100, _fabric())
+
+    def test_operand_routing_encoded(self):
+        dfg = _bfs_enumerate_dfg()
+        fabric = _fabric()
+        mapping = map_dfg(dfg, fabric)
+        _, cells = parse_bitstream(generate_bitstream(dfg, mapping), fabric)
+        # The LD's operand reference points at the LEA's cell.
+        ld_cell = next(v for v in cells.values() if v[0] is OpKind.LD)
+        lea_coords = next(coords for coords, v in cells.items()
+                          if v[0] is OpKind.LEA)
+        assert lea_coords in ld_cell[1]
+
+
+class TestMappingRender:
+    def test_render_shows_geometry(self):
+        dfg = _bfs_enumerate_dfg()
+        mapping = map_dfg(dfg, _fabric())
+        text = mapping.render(dfg)
+        lines = text.splitlines()
+        assert "SIMD" in lines[0]
+        assert len(lines) == 1 + 5  # header + 5 fabric rows
+        assert "lea" in text and "ld" in text
+
+    def test_render_marks_replicated_lanes(self):
+        dfg = _bfs_enumerate_dfg()
+        mapping = map_dfg(dfg, _fabric())
+        if mapping.replication > 1:
+            assert "rep" in mapping.render(dfg)
+
+    def test_render_without_dfg_uses_node_ids(self):
+        dfg = _bfs_enumerate_dfg()
+        mapping = map_dfg(dfg, _fabric())
+        assert "n" in mapping.render()

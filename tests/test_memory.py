@@ -1,0 +1,175 @@
+"""Unit tests for the memory substrate: address space, caches, memmap."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, MemoryConfig
+from repro.memory import AddressSpace, Cache, MainMemory, build_hierarchy
+from repro.memory.address import AllocationError
+from repro.memory.memmap import MemoryMap, MemoryMapError
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100)
+        b = space.alloc("b", 100)
+        assert a.end <= b.base
+
+    def test_line_alignment(self):
+        space = AddressSpace(align=64)
+        a = space.alloc("a", 1)
+        b = space.alloc("b", 1)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base - a.base >= 64
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 8)
+        with pytest.raises(AllocationError):
+            space.alloc("a", 8)
+
+    def test_bad_sizes_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(AllocationError):
+            space.alloc("zero", 0)
+        with pytest.raises(AllocationError):
+            space.alloc("neg", -8)
+
+    def test_array_ref_addresses(self):
+        space = AddressSpace()
+        ref = space.alloc_array("arr", 10, elem_bytes=8)
+        assert ref.addr(3) == ref.base + 24
+        with pytest.raises(IndexError):
+            ref.addr(10)
+        with pytest.raises(IndexError):
+            ref.addr(-1)
+
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(AllocationError):
+            AddressSpace(align=48)
+
+
+class TestCache:
+    def _cache(self, size=1024, ways=2, latency=4):
+        memory = MainMemory(MemoryConfig(latency=120))
+        memory.begin_quantum(10 ** 9)
+        return Cache("t", CacheConfig(size, ways, latency), memory), memory
+
+    def test_hit_after_miss(self):
+        cache, _ = self._cache()
+        assert cache.access(0x1000) > 4
+        assert cache.access(0x1000) == 4.0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache, _ = self._cache()
+        cache.access(0x1000)
+        assert cache.access(0x103F) == 4.0  # same 64-byte line
+
+    def test_lru_eviction(self):
+        cache, _ = self._cache(size=256, ways=2)  # 2 sets, 2 ways
+        n_sets = 2
+        line = 64
+        stride = n_sets * line  # same set
+        cache.access(0)
+        cache.access(stride)
+        cache.access(2 * stride)   # evicts line 0
+        assert not cache.contains(0)
+        assert cache.contains(stride)
+        # Touching the survivor keeps it MRU; next insert evicts the other.
+        cache.access(stride)
+        cache.access(3 * stride)
+        assert cache.contains(stride)
+        assert not cache.contains(2 * stride)
+
+    def test_dirty_eviction_writes_back(self):
+        cache, memory = self._cache(size=256, ways=2)
+        stride = 2 * 64
+        cache.access(0, write=True)
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts dirty line 0
+        assert cache.dirty_evictions == 1
+        assert memory.writes == 1
+
+    def test_touch_range_covers_all_lines(self):
+        cache, _ = self._cache()
+        cache.touch_range(0x1000, 200)
+        assert cache.misses == 4  # 200 bytes starting line-aligned
+
+    def test_flush_writes_dirty_lines(self):
+        cache, memory = self._cache()
+        cache.access(0x40, write=True)
+        cache.access(0x80)
+        cache.flush()
+        assert memory.writes == 1
+        assert not cache.contains(0x40)
+
+    def test_bad_geometry_rejected(self):
+        memory = MainMemory(MemoryConfig())
+        with pytest.raises(ValueError):
+            Cache("bad", CacheConfig(192, 1, 1), memory)  # 3 sets
+
+
+class TestMainMemoryBandwidth:
+    def test_penalty_beyond_budget(self):
+        memory = MainMemory(MemoryConfig(latency=100,
+                                         bandwidth_bytes_per_cycle=64.0))
+        memory.begin_quantum(1)  # budget: 64 bytes
+        assert memory.access(0) == 100.0
+        assert memory.access(64) > 100.0  # over budget
+
+    def test_budget_resets_each_quantum(self):
+        memory = MainMemory(MemoryConfig(latency=100,
+                                         bandwidth_bytes_per_cycle=64.0))
+        memory.begin_quantum(1)
+        memory.access(0)
+        memory.begin_quantum(1)
+        assert memory.access(64) == 100.0
+
+
+class TestHierarchy:
+    def test_llc_shared_between_l1s(self):
+        l1s, llc, memory = build_hierarchy(
+            CacheConfig(1024, 2, 4), CacheConfig(8192, 4, 40),
+            MemoryConfig(), 2)
+        memory.begin_quantum(10 ** 9)
+        l1s[0].access(0x5000)          # misses everywhere
+        latency = l1s[1].access(0x5000)  # misses L1, hits shared LLC
+        assert latency == 4 + 40
+        assert memory.reads == 1
+
+
+class TestMemoryMap:
+    def test_read_write_roundtrip(self):
+        space = AddressSpace()
+        memmap = MemoryMap()
+        array = np.arange(10, dtype=np.int64)
+        ref = space.alloc_array("a", 10)
+        memmap.register(ref, array)
+        assert memmap.read(ref.addr(4)) == 4
+        memmap.write(ref.addr(4), 99)
+        assert array[4] == 99
+
+    def test_unmapped_address_raises(self):
+        memmap = MemoryMap()
+        with pytest.raises(MemoryMapError):
+            memmap.read(0x1234)
+
+    def test_multiple_regions_resolve(self):
+        space = AddressSpace()
+        memmap = MemoryMap()
+        a = space.alloc_array("a", 4)
+        b = space.alloc_array("b", 4)
+        memmap.register(a, np.full(4, 1, dtype=np.int64))
+        memmap.register(b, np.full(4, 2, dtype=np.int64))
+        assert memmap.read(a.addr(0)) == 1
+        assert memmap.read(b.addr(3)) == 2
+
+    def test_elem_bytes_at(self):
+        space = AddressSpace()
+        memmap = MemoryMap()
+        ref = space.alloc_array("a", 4, elem_bytes=4)
+        memmap.register(ref, np.zeros(4, dtype=np.int32))
+        assert memmap.elem_bytes_at(ref.addr(1)) == 4

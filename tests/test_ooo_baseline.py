@@ -1,0 +1,118 @@
+"""Tests for the out-of-order core timing model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_ooo
+from repro.baselines.kernels import bfs_kernel, silo_kernel, spmm_kernel
+from repro.baselines.ooo import build_ooo_machines
+from repro.config import MemoryConfig, OOOConfig
+from repro.datasets.btree import BPlusTree
+from repro.datasets.graphs import power_law_graph
+from repro.datasets.matrices import random_sparse_matrix
+from repro.workloads.bfs import bfs_reference
+from repro.workloads.silo import silo_reference
+from repro.workloads.spmm import spmm_reference
+
+
+class TestOOOMachine:
+    def _machine(self, **kwargs):
+        machines, _, _ = build_ooo_machines(1, OOOConfig(**kwargs),
+                                            MemoryConfig())
+        return machines[0]
+
+    def test_instruction_cycles(self):
+        m = self._machine(effective_ipc=2.0)
+        m.instr(100)
+        assert m.cycles == pytest.approx(50.0)
+
+    def test_dependent_misses_stall_more(self):
+        dep = self._machine()
+        ind = self._machine()
+        for i in range(16):
+            dep.load(0x100000 + i * 4096, dependent=True)
+            ind.load(0x100000 + i * 4096, dependent=False)
+        assert dep.stall_cycles > ind.stall_cycles
+
+    def test_l1_hits_do_not_stall(self):
+        m = self._machine()
+        m.load(0x1000)
+        m.load(0x1000)
+        first_stall = m.stall_cycles
+        m.load(0x1000)
+        assert m.stall_cycles == first_stall
+
+    def test_stores_never_stall(self):
+        m = self._machine()
+        m.store(0x900000)
+        assert m.stall_cycles == 0.0
+
+
+class TestMulticore:
+    def test_barrier_aligns_cores(self):
+        def kernel(machines, barrier):
+            machines[0].instr(1000)
+            machines[1].instr(10)
+            barrier()
+            return None
+
+        result = run_ooo(kernel, n_cores=2)
+        # Total time is set by the slow core plus the barrier cost.
+        assert result.cycles >= 1000 / OOOConfig().effective_ipc
+        assert result.sync_cycles > 0
+
+    def test_serial_has_no_barrier_cost(self):
+        def kernel(machines, barrier):
+            machines[0].instr(100)
+            barrier()
+            return None
+
+        result = run_ooo(kernel, n_cores=1)
+        assert result.sync_cycles == 0.0
+
+    def test_multicore_faster_than_serial_on_parallel_work(self):
+        graph = power_law_graph(800, 8.0, seed=4)
+        serial = run_ooo(bfs_kernel(graph, 0, 1), 1)
+        parallel = run_ooo(bfs_kernel(graph, 0, 4), 4)
+        assert parallel.cycles < serial.cycles
+
+    def test_cpi_stack_covers_cycles(self):
+        graph = power_law_graph(300, 6.0, seed=5)
+        result = run_ooo(bfs_kernel(graph, 0, 4), 4)
+        stack = result.merged_cpi_stack()
+        assert stack["issued"] > 0
+        assert stack["stall_mem"] > 0
+
+
+class TestKernelsMatchReferences:
+    def test_bfs_kernel_functional(self):
+        graph = power_law_graph(500, 6.0, seed=6)
+        for cores in (1, 4):
+            result = run_ooo(bfs_kernel(graph, 0, cores), cores)
+            np.testing.assert_array_equal(result.result,
+                                          bfs_reference(graph, 0))
+
+    def test_spmm_kernel_functional(self):
+        matrix = random_sparse_matrix(80, 6.0, seed=7)
+        rows = np.arange(0, 80, 3, dtype=np.int64)
+        cols = np.arange(0, 80, 5, dtype=np.int64)
+        result = run_ooo(spmm_kernel(matrix, rows, cols, 4), 4)
+        assert result.result == spmm_reference(matrix, rows, cols)
+
+    def test_silo_kernel_functional(self):
+        keys = np.arange(2000, dtype=np.int64) * 2
+        tree = BPlusTree(keys, keys * 3, fanout=8)
+        ops = np.concatenate([keys[::7], keys[::11] + 1])
+        result = run_ooo(silo_kernel(tree, ops, 4), 4)
+        assert tuple(result.result) == silo_reference(tree, ops)
+
+    def test_silo_is_memory_bound(self):
+        """Pointer-chasing lookups should be dominated by memory stalls
+        (paper Sec. 8.1: OOO cores cannot handle these accesses)."""
+        keys = np.arange(50_000, dtype=np.int64)
+        tree = BPlusTree(keys, keys, fanout=8)
+        rng = np.random.default_rng(0)
+        ops = rng.integers(0, 50_000, size=500)
+        result = run_ooo(silo_kernel(tree, ops, 1), 1)
+        stack = result.merged_cpi_stack()
+        assert stack["stall_mem"] > stack["issued"]

@@ -1,0 +1,223 @@
+"""Unit tests for the PE execution engine: SIMD cost model, control
+serialization, coupled-load stalls, residence tracking."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import (PEProgram, Program, StageSpec, System, STOP_VALUE)
+from repro.core.stage import StageContext, StageInstance
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+
+
+def _narrow_dfg(name, in_q, out_q):
+    """A wide datapath: low replication (fills most columns)."""
+    b = DFGBuilder(name)
+    x = b.deq(in_q)
+    outs = [b.add(x, b.const(i)) for i in range(9)]
+    total = outs[0]
+    for out in outs[1:]:
+        total = b.add(total, out)
+    b.enq(out_q, total)
+    return b.finish()
+
+
+def _wide_replication_dfg(name, in_q, out_q):
+    """A 1-column datapath: maximal SIMD replication."""
+    b = DFGBuilder(name)
+    x = b.deq(in_q)
+    y = b.add(x, x)
+    b.enq(out_q, y)
+    return b.finish()
+
+
+class TestSIMDCostModel:
+    def _mapping(self, dfg):
+        from repro.cgra import FabricSpec, map_dfg
+        from repro.config import FabricConfig
+        return map_dfg(dfg, FabricSpec.from_config(FabricConfig()))
+
+    def _instance(self, dfg):
+        def semantics(ctx):
+            return
+            yield
+
+        spec = StageSpec(dfg.name, dfg, semantics)
+        ctx = StageContext(0, dfg.name, 0, 1)
+        return StageInstance(spec, ctx, self._mapping(dfg), 0x1000)
+
+    def test_data_tokens_cost_inverse_replication(self):
+        stage = self._instance(
+            _wide_replication_dfg("wide", "in", "out"))
+        r = stage.replication
+        assert r > 1
+        cost = stage.io_cost(1, 0, is_control=False)
+        assert cost == pytest.approx(1.0 / r)
+
+    def test_control_tokens_cost_full_cycle(self):
+        stage = self._instance(_wide_replication_dfg("wide", "in", "out"))
+        assert stage.io_cost(1, 0, is_control=True) == 1.0
+
+    def test_deq_and_enq_overlap(self):
+        """A dequeue and an enqueue of the same element share the cycle
+        (max-based accounting, not sum)."""
+        stage = self._instance(_wide_replication_dfg("wide", "in", "out"))
+        r = stage.replication
+        total = 0.0
+        for _ in range(10):
+            total += stage.io_cost(1, 0, False)   # deq
+            total += stage.io_cost(0, 1, False)   # enq
+        assert total == pytest.approx(10.0 / r)
+
+    def test_enqueue_heavy_stage_charged_by_enqueues(self):
+        """One dequeue fanning out to many enqueues is enqueue-limited
+        (e.g., enumerate-neighbors)."""
+        stage = self._instance(_wide_replication_dfg("wide", "in", "out"))
+        r = stage.replication
+        total = stage.io_cost(1, 0, False)
+        for _ in range(7):
+            total += stage.io_cost(0, 1, False)
+        assert total == pytest.approx(7.0 / r)
+
+    def test_narrow_datapath_gets_less_replication(self):
+        wide = self._instance(_wide_replication_dfg("w", "in", "out"))
+        narrow = self._instance(_narrow_dfg("n", "in", "out"))
+        assert narrow.replication < wide.replication
+
+
+class _MiniProgram:
+    """A configurable one-PE program for engine behavior tests."""
+
+    def __init__(self, producer, consumer, queue_words=1024):
+        self.space = AddressSpace()
+        self.memmap = MemoryMap()
+        self.data = np.arange(4096, dtype=np.int64)
+        self.ref = self.space.alloc_array("data", 4096)
+        self.memmap.register(self.ref, self.data)
+        b = DFGBuilder("mini.src")
+        reg = b.reg("i")
+        one = b.const(1)
+        nxt = b.add(reg, one)
+        b.set_reg(reg, nxt)
+        b.enq("mini.q", nxt)
+        src_dfg = b.finish()
+        b = DFGBuilder("mini.snk")
+        x = b.deq("mini.q")
+        b.add(x, x)
+        snk_dfg = b.finish()
+        pe = PEProgram(
+            shard=0,
+            queue_specs=[QueueSpec("mini.q")],
+            stage_specs=[StageSpec("mini.src", src_dfg, producer),
+                         StageSpec("mini.snk", snk_dfg, consumer)])
+        self.program = Program("mini", [pe], self.space, self.memmap)
+
+
+class TestCoupledLoads:
+    def test_cold_misses_charge_stall_cycles(self):
+        outer = {}
+
+        def producer(ctx):
+            for i in range(64):
+                # Stride over lines: every load is a cold miss.
+                yield from ctx.load(outer["ref"].addr(i * 8))
+                yield from ctx.enq("mini.q", i)
+            yield from ctx.enq("mini.q", STOP_VALUE, is_control=True)
+
+        def consumer(ctx):
+            while True:
+                token = yield from ctx.deq("mini.q")
+                if token.is_control:
+                    return
+
+        mini = _MiniProgram(producer, consumer)
+        outer["ref"] = mini.ref
+        result = System(SystemConfig(n_pes=1), mini.program,
+                        mode="fifer").run()
+        assert result.counters["stall_mem"] > 64 * 30  # LLC+mem latencies
+
+    def test_warm_loads_do_not_stall(self):
+        outer = {}
+
+        def producer(ctx):
+            for i in range(64):
+                yield from ctx.load(outer["ref"].addr(0))
+                yield from ctx.enq("mini.q", i)
+            yield from ctx.enq("mini.q", STOP_VALUE, is_control=True)
+
+        def consumer(ctx):
+            while True:
+                token = yield from ctx.deq("mini.q")
+                if token.is_control:
+                    return
+
+        mini = _MiniProgram(producer, consumer)
+        outer["ref"] = mini.ref
+        result = System(SystemConfig(n_pes=1), mini.program,
+                        mode="fifer").run()
+        # One cold miss only.
+        assert result.counters["stall_mem"] < 200
+
+    def test_stores_never_stall(self):
+        outer = {}
+
+        def producer(ctx):
+            for i in range(64):
+                yield from ctx.store(outer["ref"].addr(i * 8))
+                yield from ctx.enq("mini.q", i)
+            yield from ctx.enq("mini.q", STOP_VALUE, is_control=True)
+
+        def consumer(ctx):
+            while True:
+                token = yield from ctx.deq("mini.q")
+                if token.is_control:
+                    return
+
+        mini = _MiniProgram(producer, consumer)
+        outer["ref"] = mini.ref
+        result = System(SystemConfig(n_pes=1), mini.program,
+                        mode="fifer").run()
+        assert result.counters["stall_mem"] == 0
+
+
+class TestResidenceTracking:
+    def test_residence_and_reconfig_counted(self):
+        def producer(ctx):
+            for i in range(500):
+                yield from ctx.enq("mini.q", i)
+            yield from ctx.enq("mini.q", STOP_VALUE, is_control=True)
+
+        def consumer(ctx):
+            while True:
+                token = yield from ctx.deq("mini.q")
+                if token.is_control:
+                    return
+
+        mini = _MiniProgram(producer, consumer)
+        result = System(SystemConfig(n_pes=1), mini.program,
+                        mode="fifer").run()
+        counters = result.counters
+        assert counters["reconfig_events"] >= 2
+        # Residences average out positive and exceed reconfig periods.
+        assert result.avg_residence_cycles > 0
+        assert counters["reconfig_sum"] > 0
+        # The CPI stack's reconfig bucket matches the summed periods.
+        assert counters["reconfig"] == pytest.approx(
+            counters["reconfig_sum"], rel=0.05)
+
+    def test_explicit_cycles_request(self):
+        def producer(ctx):
+            yield from ctx.cycles(123)
+            yield from ctx.enq("mini.q", STOP_VALUE, is_control=True)
+
+        def consumer(ctx):
+            token = yield from ctx.deq("mini.q")
+            assert token.is_control
+
+        mini = _MiniProgram(producer, consumer)
+        result = System(SystemConfig(n_pes=1), mini.program,
+                        mode="fifer").run()
+        assert result.counters["issued"] >= 123

@@ -1,0 +1,191 @@
+"""Integration tests for the pipeline control protocol: iteration
+barriers, END/STOP propagation, fringe double-buffering, and the Silo
+in-flight window under stress."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.datasets.btree import BPlusTree
+from repro.datasets.graphs import CSRGraph, power_law_graph, grid_graph
+from repro.workloads import bfs, cc, silo
+from repro.workloads.spmm import SpMMWorkload, spmm_reference
+from repro.datasets.matrices import random_sparse_matrix
+
+
+class TestIterationProtocol:
+    def test_every_iteration_processes_once(self):
+        """END counting at S3 must deliver exactly one barrier signal per
+        shard per iteration; if it over- or under-counted, BFS levels
+        would be skipped or duplicated and distances would be wrong."""
+        graph = grid_graph(30, 2)  # long, narrow: many iterations
+        config = SystemConfig()
+        program, workload = bfs.build(graph, config, "fifer")
+        result = System(config, program, mode="fifer").run()
+        golden = bfs.bfs_reference(graph, 0)
+        np.testing.assert_array_equal(result.result, golden)
+        # Max distance + a final empty-discovery iteration.
+        assert workload.iterations_run == golden.max() + 1
+
+    def test_fringe_double_buffering_isolates_iterations(self):
+        """Vertices discovered during iteration k must not be processed
+        until iteration k+1 (write buffer vs read buffer)."""
+        # A cycle graph: each iteration discovers exactly 2 vertices.
+        n = 24
+        offsets = np.arange(0, 2 * n + 1, 2, dtype=np.int64)
+        neighbors = np.zeros(2 * n, dtype=np.int64)
+        for v in range(n):
+            neighbors[2 * v] = (v - 1) % n
+            neighbors[2 * v + 1] = (v + 1) % n
+        graph = CSRGraph(offsets, neighbors)
+        config = SystemConfig()
+        program, workload = bfs.build(graph, config, "fifer")
+        result = System(config, program, mode="fifer").run()
+        golden = bfs.bfs_reference(graph, 0)
+        np.testing.assert_array_equal(result.result, golden)
+        assert result.result.max() == n // 2
+
+    def test_stop_terminates_all_stages(self):
+        graph = power_law_graph(200, 5.0, seed=30)
+        config = SystemConfig()
+        program, _ = bfs.build(graph, config, "fifer")
+        system = System(config, program, mode="fifer")
+        system.run()
+        for pe in system.pes:
+            assert all(stage.done for stage in pe.stages)
+
+    def test_queues_drained_at_completion(self):
+        graph = power_law_graph(200, 5.0, seed=31)
+        config = SystemConfig()
+        program, _ = bfs.build(graph, config, "fifer")
+        system = System(config, program, mode="fifer")
+        system.run()
+        for name, queue in system._queues.items():
+            assert queue.is_empty(), f"queue {name} not drained"
+
+    def test_single_vertex_graph(self):
+        graph = CSRGraph(np.array([0, 0], dtype=np.int64),
+                         np.zeros(0, dtype=np.int64))
+        config = SystemConfig()
+        program, _ = bfs.build(graph, config, "fifer")
+        result = System(config, program, mode="fifer").run()
+        assert list(result.result) == [0]
+
+    def test_empty_iteration_shards_still_barrier(self):
+        """Shards whose fringe slice is empty must still emit their END
+        tokens so the barrier completes (count=0 dispatches)."""
+        # A star graph: all work concentrates on the hub's shard.
+        n = 64
+        hub_edges = np.arange(1, n, dtype=np.int64)
+        offsets = np.concatenate([[0, n - 1],
+                                  np.arange(n, 2 * n - 1, dtype=np.int64)])
+        neighbors = np.concatenate([hub_edges,
+                                    np.zeros(n - 1, dtype=np.int64)])
+        graph = CSRGraph(offsets.astype(np.int64),
+                         neighbors.astype(np.int64))
+        config = SystemConfig()
+        program, _ = bfs.build(graph, config, "fifer")
+        result = System(config, program, mode="fifer").run()
+        golden = bfs.bfs_reference(graph, 0)
+        np.testing.assert_array_equal(result.result, golden)
+
+
+class TestTinyQueues:
+    """The whole protocol must stay deadlock-free with minimal buffering
+    (1 KB queue memory: every queue is a handful of entries)."""
+
+    @pytest.mark.parametrize("mode", ["fifer", "static"])
+    def test_bfs_with_minimal_queues(self, mode):
+        graph = power_law_graph(150, 5.0, seed=32)
+        config = SystemConfig(queue_mem_bytes=1024)
+        program, _ = bfs.build(graph, config, mode)
+        result = System(config, program, mode=mode).run(max_cycles=5e7)
+        np.testing.assert_array_equal(result.result,
+                                      bfs.bfs_reference(graph, 0))
+
+    def test_cc_with_minimal_queues(self):
+        graph = power_law_graph(120, 4.0, seed=33)
+        config = SystemConfig(queue_mem_bytes=1024)
+        program, _ = cc.build(graph, config, "fifer")
+        result = System(config, program, mode="fifer").run(max_cycles=5e7)
+        np.testing.assert_array_equal(result.result,
+                                      cc.cc_reference(graph))
+
+    def test_spmm_with_minimal_queues(self):
+        matrix = random_sparse_matrix(100, 6.0, seed=34)
+        rows = np.arange(0, 100, 7, dtype=np.int64)
+        cols = np.arange(0, 100, 9, dtype=np.int64)
+        config = SystemConfig(queue_mem_bytes=1024)
+        workload = SpMMWorkload(matrix, 16, rows, cols)
+        program = workload.build_program(config, "fifer")
+        result = System(config, program, mode="fifer").run(max_cycles=5e7)
+        assert result.result == spmm_reference(matrix, rows, cols)
+
+    def test_silo_with_minimal_queues(self):
+        keys = np.arange(3000, dtype=np.int64) * 2
+        tree = BPlusTree(keys, keys + 1, fanout=8)
+        ops = keys[::11].copy()
+        ops[::3] += 1
+        config = SystemConfig(queue_mem_bytes=1024)
+        program, workload = silo.build(tree, ops, config, "fifer")
+        result = System(config, program, mode="fifer").run(max_cycles=5e7)
+        assert result.result == silo.silo_reference(tree, ops)
+        # The window shrinks with the queues but never below 1.
+        assert all(w >= 1 for w in workload.lookup_window)
+
+
+class TestSiloWindowStress:
+    def test_deep_tree_small_window(self):
+        """Fanout 2 gives a deep tree (long recirculation chains)."""
+        keys = np.arange(600, dtype=np.int64)
+        tree = BPlusTree(keys, keys * 5, fanout=2)
+        assert tree.depth >= 9
+        ops = keys[::3]
+        config = silo.recommended_config(SystemConfig())
+        program, _ = silo.build(tree, ops, config, "fifer")
+        result = System(config, program, mode="fifer").run(max_cycles=5e7)
+        assert result.result == silo.silo_reference(tree, ops)
+
+    def test_all_misses(self):
+        keys = np.arange(1000, dtype=np.int64) * 2
+        tree = BPlusTree(keys, keys, fanout=8)
+        ops = keys[:200] + 1  # every lookup misses
+        config = silo.recommended_config(SystemConfig())
+        program, _ = silo.build(tree, ops, config, "fifer")
+        result = System(config, program, mode="fifer").run(max_cycles=5e7)
+        assert result.result == (0, 0)
+
+
+class TestSpMMProtocol:
+    def test_abort_feedback_is_functionally_invisible(self):
+        """Crafted so one list always outlives the other: the abort path
+        exercises heavily but results stay exact."""
+        n = 60
+        # Row i has entries at columns [0..i]; column j at rows [0..j]:
+        rows_coo, cols_coo = [], []
+        for i in range(n):
+            for j in range(0, i + 1, 2):
+                rows_coo.append(i)
+                cols_coo.append(j)
+        from repro.datasets.matrices import _from_coo
+        matrix = _from_coo(n, np.array(rows_coo, dtype=np.int64),
+                           np.array(cols_coo, dtype=np.int64),
+                           np.ones(len(rows_coo)))
+        rows = np.arange(n, dtype=np.int64)
+        cols = np.arange(n, dtype=np.int64)
+        config = SystemConfig()
+        workload = SpMMWorkload(matrix, 16, rows, cols)
+        program = workload.build_program(config, "fifer")
+        result = System(config, program, mode="fifer").run(max_cycles=5e7)
+        assert result.result == spmm_reference(matrix, rows, cols)
+
+    def test_empty_matrix(self):
+        matrix = random_sparse_matrix(40, 0.0, seed=35)
+        rows = np.arange(40, dtype=np.int64)
+        cols = np.arange(40, dtype=np.int64)
+        config = SystemConfig()
+        workload = SpMMWorkload(matrix, 16, rows, cols)
+        program = workload.build_program(config, "fifer")
+        result = System(config, program, mode="fifer").run(max_cycles=5e7)
+        assert result.result == {}

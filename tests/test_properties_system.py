@@ -1,0 +1,110 @@
+"""Property-based end-to-end tests of the simulated systems."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.core import PEProgram, Program, StageSpec, System, STOP_VALUE
+from repro.datasets.graphs import power_law_graph, uniform_random_graph
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+from repro.workloads import bfs, cc
+
+_settings = settings(max_examples=10, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow,
+                                            HealthCheck.data_too_large])
+
+
+def _passthrough_program(payloads):
+    space = AddressSpace()
+    received = []
+
+    def producer(ctx):
+        for value, is_control in payloads:
+            yield from ctx.enq("pt.q", value, is_control=is_control)
+        yield from ctx.enq("pt.q", STOP_VALUE, is_control=True)
+
+    def consumer(ctx):
+        while True:
+            token = yield from ctx.deq("pt.q")
+            if token.is_control and token.value == STOP_VALUE:
+                return
+            received.append((token.value, token.is_control))
+
+    b = DFGBuilder("pt.src")
+    reg = b.reg("i")
+    b.set_reg(reg, b.add(reg, b.const(1)))
+    b.enq("pt.q", reg)
+    src = b.finish()
+    b = DFGBuilder("pt.snk")
+    x = b.deq("pt.q")
+    b.add(x, x)
+    snk = b.finish()
+    pe = PEProgram(shard=0,
+                   queue_specs=[QueueSpec("pt.q")],
+                   stage_specs=[StageSpec("pt.src", src, producer),
+                                StageSpec("pt.snk", snk, consumer)])
+    return Program("pt", [pe], space, MemoryMap(),
+                   result_fn=lambda: list(received))
+
+
+@given(st.lists(st.tuples(st.integers(-1000, 1000), st.booleans()),
+                max_size=120),
+       st.sampled_from([256, 1024, 16 * 1024]))
+@_settings
+def test_tokens_arrive_in_order_any_queue_size(payloads, queue_bytes):
+    """Whatever mix of data and control flows through a temporal
+    pipeline, order and the control bit are preserved."""
+    payloads = [(v, c) for v, c in payloads if v != STOP_VALUE]
+    program = _passthrough_program(payloads)
+    config = SystemConfig(n_pes=1, queue_mem_bytes=queue_bytes)
+    result = System(config, program, mode="fifer").run(max_cycles=5e6)
+    assert result.result == payloads
+
+
+@given(st.integers(min_value=2, max_value=120),
+       st.floats(min_value=1.0, max_value=8.0),
+       st.integers(min_value=0, max_value=10 ** 6))
+@_settings
+def test_fifer_bfs_matches_reference_on_random_graphs(n, deg, seed):
+    graph = power_law_graph(n, deg, seed=seed)
+    config = SystemConfig()
+    program, _ = bfs.build(graph, config, "fifer")
+    result = System(config, program, mode="fifer").run(max_cycles=5e7)
+    np.testing.assert_array_equal(result.result,
+                                  bfs.bfs_reference(graph, 0))
+
+
+@given(st.integers(min_value=2, max_value=80),
+       st.integers(min_value=0, max_value=10 ** 6))
+@_settings
+def test_static_and_fifer_agree_functionally(n, seed):
+    """Both CGRA systems compute identical CC labels on any graph."""
+    graph = uniform_random_graph(n, 4.0, seed=seed)
+    config = SystemConfig()
+    results = {}
+    for mode in ("static", "fifer"):
+        program, _ = cc.build(graph, config, mode)
+        results[mode] = System(config, program, mode=mode).run(
+            max_cycles=5e7).result
+    np.testing.assert_array_equal(results["static"], results["fifer"])
+    np.testing.assert_array_equal(results["fifer"], cc.cc_reference(graph))
+
+
+@given(st.integers(min_value=16, max_value=64),
+       st.integers(min_value=0, max_value=100))
+@_settings
+def test_cycle_accounting_always_balances(n, seed):
+    """For any run, each PE's CPI buckets sum to the total cycles."""
+    graph = power_law_graph(n, 4.0, seed=seed)
+    config = SystemConfig()
+    program, _ = bfs.build(graph, config, "fifer")
+    result = System(config, program, mode="fifer").run(max_cycles=5e7)
+    for stack in result.cpi_stacks():
+        # Exact up to the final quantum's overshoot (one request's cost;
+        # earlier overshoots are repaid from subsequent quanta).
+        assert sum(stack.values()) <= result.cycles + 2.0
+        assert sum(stack.values()) >= result.cycles - 1e-6

@@ -1,0 +1,119 @@
+"""Unit tests for reconfiguration timing and scheduler policies."""
+
+import pytest
+
+from repro.config import CacheConfig, MemoryConfig, SystemConfig
+from repro.core.reconfig import ReconfigurationModel
+from repro.core.scheduler import (MostWorkScheduler, RoundRobinScheduler,
+                                  make_scheduler)
+from repro.memory import Cache, MainMemory
+
+
+def _l1():
+    memory = MainMemory(MemoryConfig(latency=120))
+    memory.begin_quantum(10 ** 9)
+    return Cache("l1", CacheConfig(32 * 1024, 8, 4), memory)
+
+
+class TestReconfigurationModel:
+    def test_warm_load_matches_paper(self):
+        """Paper Sec. 6: loading from L1 is 10 cycles (6 chunks + 4)."""
+        model = ReconfigurationModel(SystemConfig(), _l1())
+        model.load_cycles(0x1000, 360)            # cold
+        assert model.load_cycles(0x1000, 360) == pytest.approx(10.0)
+
+    def test_minimum_reconfiguration_is_12_cycles(self):
+        """Paper Sec. 6: minimum 12 cycles (10 load + 2 activation)."""
+        model = ReconfigurationModel(SystemConfig(), _l1())
+        model.load_cycles(0x1000, 360)  # warm the config lines
+        period = model.reconfiguration_period(0.0, 0x1000, 360)
+        assert period == pytest.approx(12.0)
+
+    def test_double_buffering_overlaps_drain_and_load(self):
+        l1 = _l1()
+        db = ReconfigurationModel(SystemConfig(double_buffered=True), l1)
+        sb = ReconfigurationModel(SystemConfig(double_buffered=False), l1)
+        db.load_cycles(0x1000, 360)
+        drain = 11.0
+        overlapped = db.reconfiguration_period(drain, 0x1000, 360)
+        serialized = sb.reconfiguration_period(drain, 0x1000, 360)
+        assert overlapped == pytest.approx(max(drain, 10.0) + 2)
+        assert serialized == pytest.approx(drain + 10.0 + 2)
+
+    def test_draining_dominates_deep_configs(self):
+        """Paper Sec. 5.1: configs with >6 pipeline stages drain longer
+        than they load, making drain the dominant reconfiguration cost."""
+        model = ReconfigurationModel(SystemConfig(), _l1())
+        model.load_cycles(0x1000, 360)
+        deep = model.reconfiguration_period(30.0, 0x1000, 360)
+        assert deep == pytest.approx(32.0)
+
+    def test_zero_cost_config(self):
+        model = ReconfigurationModel(
+            SystemConfig(zero_cost_reconfig=True), _l1())
+        assert model.reconfiguration_period(50.0, 0x1000, 360) == 0.0
+
+    def test_cold_config_pays_memory_latency(self):
+        model = ReconfigurationModel(SystemConfig(), _l1())
+        cold = model.reconfiguration_period(0.0, 0x2000, 360)
+        warm = model.reconfiguration_period(0.0, 0x2000, 360)
+        assert cold > warm
+
+
+class _FakePE:
+    """Minimal PE interface for scheduler unit tests."""
+
+    def __init__(self, stages, runnable, work):
+        self.stages = stages
+        self._runnable = runnable
+        self._work = work
+
+    def stage_runnable(self, stage):
+        return self._runnable[stage.name]
+
+    def stage_input_work(self, stage):
+        return self._work[stage.name]
+
+
+class _FakeStage:
+    def __init__(self, name, done=False):
+        self.name = name
+        self.done = done
+
+
+class TestSchedulers:
+    def test_most_work_picks_largest_queue(self):
+        stages = [_FakeStage("a"), _FakeStage("b"), _FakeStage("c")]
+        pe = _FakePE(stages, {"a": True, "b": True, "c": True},
+                     {"a": 5, "b": 50, "c": 20})
+        assert MostWorkScheduler().pick(pe).name == "b"
+
+    def test_most_work_skips_blocked_stages(self):
+        stages = [_FakeStage("a"), _FakeStage("b")]
+        pe = _FakePE(stages, {"a": True, "b": False}, {"a": 1, "b": 99})
+        assert MostWorkScheduler().pick(pe).name == "a"
+
+    def test_most_work_skips_done_stages(self):
+        stages = [_FakeStage("a", done=True), _FakeStage("b")]
+        pe = _FakePE(stages, {"a": True, "b": True}, {"a": 99, "b": 1})
+        assert MostWorkScheduler().pick(pe).name == "b"
+
+    def test_returns_none_when_nothing_runnable(self):
+        stages = [_FakeStage("a")]
+        pe = _FakePE(stages, {"a": False}, {"a": 10})
+        assert MostWorkScheduler().pick(pe) is None
+        assert RoundRobinScheduler().pick(pe) is None
+
+    def test_round_robin_cycles(self):
+        stages = [_FakeStage("a"), _FakeStage("b"), _FakeStage("c")]
+        pe = _FakePE(stages, {"a": True, "b": True, "c": True},
+                     {"a": 1, "b": 1, "c": 1})
+        scheduler = RoundRobinScheduler()
+        order = [scheduler.pick(pe).name for _ in range(4)]
+        assert order == ["b", "c", "a", "b"]
+
+    def test_factory(self):
+        assert isinstance(make_scheduler("most-work"), MostWorkScheduler)
+        assert isinstance(make_scheduler("round-robin"), RoundRobinScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("oracle")

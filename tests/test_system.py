@@ -1,0 +1,193 @@
+"""System-level tests: construction validation, deadlock detection,
+timeouts, reconfiguration behavior under configuration knobs."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import (DeadlockError, PEProgram, Program, StageSpec,
+                        System, STOP_VALUE)
+from repro.core.system import SimulationTimeout
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+
+
+def _passthrough_dfg(name, in_q, out_q):
+    b = DFGBuilder(name)
+    x = b.deq(in_q)
+    b.enq(out_q, x)
+    return b.finish()
+
+
+def _sink_dfg(name, in_q):
+    b = DFGBuilder(name)
+    x = b.deq(in_q)
+    b.add(x, x)
+    return b.finish()
+
+
+def _source_dfg(name, out_q):
+    b = DFGBuilder(name)
+    counter = b.reg("i")
+    one = b.const(1)
+    nxt = b.add(counter, one)
+    b.set_reg(counter, nxt)
+    b.enq(out_q, nxt)
+    return b.finish()
+
+
+def _two_stage_program(n_items=100, sink_consumes=True):
+    space = AddressSpace()
+    memmap = MemoryMap()
+    seen = []
+
+    def producer(ctx):
+        for i in range(n_items):
+            yield from ctx.enq("sys.q", i)
+        yield from ctx.enq("sys.q", STOP_VALUE, is_control=True)
+
+    def consumer(ctx):
+        while True:
+            token = yield from ctx.deq("sys.q")
+            if token.is_control:
+                return
+            seen.append(token.value)
+
+    def stuck_consumer(ctx):
+        yield from ctx.deq("sys.never")  # waits forever
+
+    consumer_fn = consumer if sink_consumes else stuck_consumer
+    sink_queue = "sys.q" if sink_consumes else "sys.never"
+    pe = PEProgram(
+        shard=0,
+        queue_specs=[QueueSpec("sys.q"), QueueSpec("sys.never")],
+        stage_specs=[
+            StageSpec("sys.src", _source_dfg("sys.src", "sys.q"), producer),
+            StageSpec("sys.snk", _sink_dfg("sys.snk", sink_queue),
+                      consumer_fn),
+        ])
+    return Program("sys", [pe], space, memmap,
+                   result_fn=lambda: list(seen))
+
+
+class TestConstruction:
+    def test_pe_count_mismatch_rejected(self):
+        program = _two_stage_program()
+        with pytest.raises(ValueError):
+            System(SystemConfig(n_pes=4), program, mode="fifer")
+
+    def test_unknown_mode_rejected(self):
+        program = _two_stage_program()
+        with pytest.raises(ValueError):
+            System(SystemConfig(n_pes=1), program, mode="quantum")
+
+    def test_static_requires_one_stage_per_pe(self):
+        program = _two_stage_program()
+        with pytest.raises(ValueError):
+            System(SystemConfig(n_pes=1), program, mode="static")
+
+    def test_unknown_queue_name_rejected(self):
+        space = AddressSpace()
+
+        def semantics(ctx):
+            yield from ctx.deq("no.such.queue")
+
+        pe = PEProgram(shard=0, stage_specs=[
+            StageSpec("s", _sink_dfg("s", "no.such.queue"), semantics)])
+        program = Program("bad", [pe], space, MemoryMap())
+        with pytest.raises(KeyError):
+            System(SystemConfig(n_pes=1), program, mode="fifer")
+
+    def test_config_bitstreams_allocated(self):
+        program = _two_stage_program()
+        System(SystemConfig(n_pes=1), program, mode="fifer")
+        names = {r.name for r in program.address_space.regions()}
+        assert "__cfg_sys.src" in names
+        assert "__cfg_sys.snk" in names
+
+
+class TestRunBehavior:
+    def test_runs_to_completion(self):
+        program = _two_stage_program(n_items=50)
+        result = System(SystemConfig(n_pes=1), program, mode="fifer").run()
+        assert result.result == list(range(50))
+
+    def test_deadlock_detected_and_reported(self):
+        program = _two_stage_program(n_items=5, sink_consumes=False)
+        config = SystemConfig(n_pes=1, deadlock_quanta=20)
+        with pytest.raises(DeadlockError) as excinfo:
+            System(config, program, mode="fifer").run()
+        assert "sys.never" in str(excinfo.value)
+
+    def test_timeout_raised(self):
+        program = _two_stage_program(n_items=10_000)
+        with pytest.raises(SimulationTimeout):
+            System(SystemConfig(n_pes=1), program,
+                   mode="fifer").run(max_cycles=64)
+
+    def test_result_contains_cache_stats(self):
+        program = _two_stage_program()
+        result = System(SystemConfig(n_pes=1), program, mode="fifer").run()
+        assert len(result.l1_stats) == 1
+        assert "hit_rate" in result.l1_stats[0]
+        assert result.mem_stats["reads"] >= 0
+
+    def test_zero_cost_reconfig_runs_faster(self):
+        base = System(SystemConfig(n_pes=1),
+                      _two_stage_program(500), mode="fifer").run()
+        free = System(SystemConfig(n_pes=1, zero_cost_reconfig=True),
+                      _two_stage_program(500), mode="fifer").run()
+        assert free.cycles <= base.cycles
+        assert free.counters["reconfig"] == 0
+
+    def test_single_buffered_is_slower_or_equal(self):
+        db = System(SystemConfig(n_pes=1, queue_mem_bytes=512),
+                    _two_stage_program(800), mode="fifer").run()
+        sb = System(SystemConfig(n_pes=1, queue_mem_bytes=512,
+                                 double_buffered=False),
+                    _two_stage_program(800), mode="fifer").run()
+        assert sb.cycles >= db.cycles
+
+    def test_round_robin_policy_runs(self):
+        config = SystemConfig(n_pes=1, scheduler_policy="round-robin")
+        result = System(config, _two_stage_program(200), mode="fifer").run()
+        assert result.result == list(range(200))
+
+    def test_mappings_exposed(self):
+        program = _two_stage_program()
+        result = System(SystemConfig(n_pes=1), program, mode="fifer").run()
+        assert "sys.src" in result.mappings
+        assert result.mappings["sys.src"].replication >= 1
+
+
+class TestCrossPE:
+    def test_pipeline_across_two_pes(self):
+        space = AddressSpace()
+        seen = []
+
+        def producer(ctx):
+            for i in range(300):
+                yield from ctx.enq("x.q", i * 2)
+            yield from ctx.enq("x.q", STOP_VALUE, is_control=True)
+
+        def consumer(ctx):
+            while True:
+                token = yield from ctx.deq("x.q")
+                if token.is_control:
+                    return
+                seen.append(token.value)
+
+        pes = [
+            PEProgram(shard=0, stage_specs=[
+                StageSpec("x.src", _source_dfg("x.src", "x.q"), producer)]),
+            PEProgram(shard=0, queue_specs=[QueueSpec("x.q")],
+                      stage_specs=[
+                StageSpec("x.snk", _sink_dfg("x.snk", "x.q"), consumer)]),
+        ]
+        program = Program("x", pes, space, MemoryMap(),
+                          result_fn=lambda: list(seen))
+        result = System(SystemConfig(n_pes=2), program, mode="static").run()
+        assert result.result == [i * 2 for i in range(300)]
+        # Producer PE never reconfigures in static mode.
+        assert result.counters["reconfig"] == 0

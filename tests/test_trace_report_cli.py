@@ -1,0 +1,118 @@
+"""Tests for activation tracing, ASCII reporting, and the CLI."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.cli import main as cli_main
+from repro.datasets.graphs import power_law_graph
+from repro.harness.report import bar_chart, speedup_bars, stacked_bars
+from repro.stats.trace import ActivationTracer
+from repro.workloads import bfs
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    config = SystemConfig()
+    graph = power_law_graph(300, 6.0, seed=21)
+    program, _ = bfs.build(graph, config, "fifer")
+    system = System(config, program, mode="fifer")
+    tracer = ActivationTracer().attach(system)
+    result = system.run()
+    return tracer, result
+
+
+class TestActivationTracer:
+    def test_events_match_reconfig_counter(self, traced_run):
+        tracer, result = traced_run
+        # One trace event per activation (== reconfiguration events).
+        assert len(tracer.events) == result.counters["reconfig_events"]
+
+    def test_timelines_are_ordered(self, traced_run):
+        tracer, result = traced_run
+        for timeline in tracer.per_pe().values():
+            starts = [event.start for event in timeline]
+            assert starts == sorted(starts)
+
+    def test_residences_cover_each_pe(self, traced_run):
+        tracer, result = traced_run
+        spans = tracer.residences(result.cycles)
+        assert all(duration >= 0 for _, _, _, duration in spans)
+        pes = {pe for pe, _, _, _ in spans}
+        assert len(pes) == 16
+
+    def test_stage_shares_sum_sensibly(self, traced_run):
+        tracer, result = traced_run
+        shares = tracer.stage_cycle_share(result.cycles)
+        # Every stage of every shard appears: 4 stages x 16 shards.
+        assert len(shares) == 64
+        assert sum(shares.values()) <= result.cycles * 16 + 1e-6
+
+    def test_gantt_renders(self, traced_run):
+        tracer, result = traced_run
+        chart = tracer.gantt(result.cycles, width=40, max_pes=4)
+        lines = chart.splitlines()
+        assert len(lines) == 5  # 4 PEs + legend
+        assert lines[0].startswith("PE0")
+        assert "legend:" in lines[-1]
+
+
+class TestReport:
+    def test_bar_chart(self):
+        chart = bar_chart({"a": 1.0, "bb": 2.0}, width=10, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "##########" in lines[2]  # the max bar fills the width
+        assert "2.00x" in lines[2]
+
+    def test_bar_chart_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+    def test_stacked_bars(self):
+        stacks = {"S": {"x": 3.0, "y": 1.0}, "F": {"x": 1.0, "y": 1.0}}
+        chart = stacked_bars(stacks, ("x", "y"), width=8)
+        assert "legend:" in chart
+        assert "#" in chart and "=" in chart
+
+    def test_speedup_bars(self):
+        chart = speedup_bars({"Hu": {"a": 1.0, "b": 2.0}}, ("a", "b"))
+        assert "[Hu]" in chart
+
+
+class TestCLI:
+    def test_inputs_command(self, capsys):
+        assert cli_main(["inputs"]) == 0
+        out = capsys.readouterr().out
+        assert "coAuthorsDBLP" in out
+        assert "YCSB-C" in out
+
+    def test_run_command(self, capsys):
+        assert cli_main(["run", "bfs", "Hu", "--scale", "0.12",
+                         "--system", "fifer"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "cycle breakdown" in out
+        assert "energy breakdown" in out
+
+    def test_compare_command(self, capsys):
+        assert cli_main(["compare", "bfs", "Hu", "--scale", "0.12"]) == 0
+        out = capsys.readouterr().out
+        for system in ("serial", "multicore", "static", "fifer"):
+            assert system in out
+
+    def test_trace_command(self, capsys):
+        assert cli_main(["trace", "bfs", "Hu", "--scale", "0.12",
+                         "--pes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PE0" in out and "legend:" in out
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "bfs", "XX"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "sorting", "Hu"])

@@ -1,0 +1,122 @@
+"""Layout and assembly tests for SpMM and Silo programs (the non-graph
+pipelines), mirroring test_graph_chain_internals for the graph chain."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.datasets.btree import BPlusTree
+from repro.datasets.matrices import random_sparse_matrix
+from repro.workloads import silo
+from repro.workloads.spmm import SpMMWorkload, sample_rows_cols
+
+
+@pytest.fixture
+def matrix():
+    return random_sparse_matrix(120, 5.0, seed=50)
+
+
+class TestSpMMLayout:
+    def _workload(self, matrix, n_shards=4):
+        rows, cols = sample_rows_cols(matrix, 24, 24, seed=1)
+        return SpMMWorkload(matrix, n_shards, rows, cols)
+
+    def test_shard_rows_are_contiguous_blocks(self, matrix):
+        workload = self._workload(matrix)
+        flattened = np.concatenate(workload.shard_rows)
+        np.testing.assert_array_equal(flattened, workload.rows)
+        # Blocks are balanced within one row.
+        sizes = [len(block) for block in workload.shard_rows]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fifer_layout(self, matrix):
+        workload = self._workload(matrix)
+        program = workload.build_program(SystemConfig(n_pes=4), "fifer")
+        for pe_program in program.pe_programs:
+            assert len(pe_program.stage_specs) == 4
+            assert len(pe_program.drm_specs) == 3
+            assert len(pe_program.queue_specs) == 9
+
+    def test_static_layout(self, matrix):
+        workload = self._workload(matrix)
+        program = workload.build_program(SystemConfig(n_pes=16), "static")
+        assert program.n_pes == 16
+        assert all(len(p.stage_specs) == 1 for p in program.pe_programs)
+
+    def test_merged_layout_is_single_stage(self, matrix):
+        workload = self._workload(matrix, n_shards=16)
+        program = workload.build_program(SystemConfig(n_pes=16), "fifer",
+                                         variant="merged")
+        assert all(len(p.stage_specs) == 1 for p in program.pe_programs)
+        assert all(not p.drm_specs for p in program.pe_programs)
+
+    def test_unknown_mode_rejected(self, matrix):
+        workload = self._workload(matrix)
+        with pytest.raises(ValueError):
+            workload.build_program(SystemConfig(n_pes=4), "merged")
+
+    def test_pair_enumeration_covers_all_samples(self, matrix):
+        workload = self._workload(matrix)
+        pairs = [pair for shard in range(4)
+                 for pair in workload._pairs(shard)]
+        assert len(pairs) == len(workload.rows) * len(workload.cols)
+        assert len(set(pairs)) == len(pairs)
+
+    def test_accumulator_stage_capped_by_fma_units(self, matrix):
+        from repro.core import System
+        workload = self._workload(matrix, n_shards=16)
+        program = workload.build_program(SystemConfig(), "fifer")
+        system = System(SystemConfig(), program, mode="fifer")
+        mapping = system.mappings["spmm.accumulate@0"]
+        assert mapping.n_fma_ops == 1
+        assert mapping.replication <= 4  # 4 FMA units per fabric
+
+
+class TestSiloLayout:
+    def _workload(self, n_shards=4):
+        keys = np.arange(2000, dtype=np.int64) * 2
+        tree = BPlusTree(keys, keys, fanout=8)
+        ops = keys[::5]
+        return silo.SiloWorkload(tree, ops, n_shards), tree, ops
+
+    def test_ops_striped_across_shards(self):
+        workload, tree, ops = self._workload()
+        rebuilt = np.concatenate(workload.shard_keys)
+        assert sorted(rebuilt) == sorted(ops)
+        sizes = [len(k) for k in workload.shard_keys]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_trav_queue_has_two_producers(self):
+        workload, _, _ = self._workload()
+        program = workload.build_program(
+            silo.recommended_config(SystemConfig(n_pes=4)), "fifer")
+        trav = next(spec for pe in program.pe_programs
+                    for spec in pe.queue_specs
+                    if spec.name == "silo.trav@0")
+        assert set(trav.producers) == {"silo.query@0", "silo.traverse@0"}
+
+    def test_node_addresses_fall_in_tree_region(self):
+        workload, tree, _ = self._workload()
+        base = workload.tree_ref.base
+        for node_id in (0, tree.root_id, tree.n_nodes - 1):
+            addr = workload.node_addr(node_id)
+            assert base <= addr < base + tree.total_bytes
+
+    def test_post_build_only_for_decoupled(self):
+        workload, tree, ops = self._workload()
+        config = silo.recommended_config(SystemConfig(n_pes=4))
+        assert workload.build_program(config, "fifer",
+                                      "decoupled").post_build is not None
+        workload2 = silo.SiloWorkload(tree, ops, 4)
+        assert workload2.build_program(config, "fifer",
+                                       "merged").post_build is None
+
+    def test_zero_array_is_read_only(self):
+        from repro.workloads.silo import _ZeroArray
+        array = _ZeroArray(10)
+        assert array[5] == 0
+        assert len(array) == 10
+        with pytest.raises(IndexError):
+            array[10]
+        with pytest.raises(TypeError):
+            array[0] = 1

@@ -1,0 +1,62 @@
+"""Cross-system functional verification for every workload.
+
+Every workload must produce the golden reference result on all four
+evaluated systems (serial OOO, 4-core OOO, static pipeline, Fifer) and
+on the merged pipeline variants — the property the whole evaluation
+rests on.
+"""
+
+import pytest
+
+from repro.harness import prepare_input, run_experiment
+from repro.harness.run import APP_INPUTS, SYSTEMS
+
+_FAST_CASES = [
+    ("bfs", "Hu", 0.2),
+    ("cc", "Ci", 0.15),
+    ("prd", "Hu", 0.15),
+    ("radii", "In", 0.15),
+    ("spmm", "Gr", 0.5),
+    ("silo", "YC", 1.0),
+]
+
+
+@pytest.fixture(scope="module")
+def prepared_inputs():
+    return {(app, code): prepare_input(app, code, scale=scale)
+            for app, code, scale in _FAST_CASES}
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("app,code,scale", _FAST_CASES)
+def test_all_systems_match_reference(app, code, scale, system,
+                                     prepared_inputs):
+    # run_experiment raises AssertionError on a reference mismatch.
+    result = run_experiment(app, code, system,
+                            prepared=prepared_inputs[(app, code)])
+    assert result.correct
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("mode", ["static", "fifer"])
+@pytest.mark.parametrize("app,code,scale", _FAST_CASES)
+def test_merged_variants_match_reference(app, code, scale, mode,
+                                         prepared_inputs):
+    result = run_experiment(app, code, mode, variant="merged",
+                            prepared=prepared_inputs[(app, code)])
+    assert result.correct
+
+
+@pytest.mark.parametrize("app,code,scale", _FAST_CASES)
+def test_energy_breakdown_is_positive(app, code, scale, prepared_inputs):
+    result = run_experiment(app, code, "fifer",
+                            prepared=prepared_inputs[(app, code)])
+    assert all(v >= 0 for v in result.energy.values())
+    assert sum(result.energy.values()) > 0
+
+
+def test_all_registered_inputs_generate():
+    for app, codes in APP_INPUTS.items():
+        for code in codes:
+            prepared = prepare_input(app, code, scale=0.1)
+            assert prepared.golden is not None
