@@ -22,6 +22,10 @@ from repro.harness.run import APP_INPUTS, default_scale
 
 SCALE_MULT = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+# Every benchmark experiment leaves a schema-versioned run manifest
+# next to its results/*.txt so figures carry provenance and runs are
+# diffable with `python -m repro report benchmarks/results/manifests`.
+MANIFEST_DIR = RESULTS_DIR / "manifests"
 
 ALL_APPS = ("bfs", "cc", "prd", "radii", "spmm", "silo")
 # One representative input per app for the expensive sweeps.
@@ -51,7 +55,8 @@ def experiment(app: str, code: str, system: str, variant: str = "decoupled",
         scheduler_policy=policy,
     )
     return run_experiment(app, code, system, prepared=prepared(app, code),
-                          variant=variant, config=config)
+                          variant=variant, config=config,
+                          manifest_dir=MANIFEST_DIR)
 
 
 def emit(name: str, text: str) -> None:

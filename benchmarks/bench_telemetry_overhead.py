@@ -1,0 +1,76 @@
+"""Micro-benchmark: telemetry instrumentation overhead when disabled.
+
+The telemetry subsystem's contract is that instrumented hot paths are a
+zero-cost no-op when nothing is listening: every publish site is a
+single ``if probe is not None`` attribute check, and an attached bus
+with no sinks adds only one guarded method call per (rare) event site.
+This benchmark measures simulated-run wall time for the same program in
+three states —
+
+* ``off``   — no bus attached (every probe is ``None``),
+* ``armed`` — bus attached, no sinks subscribed,
+* ``on``    — bus attached with a recording sink (full event stream),
+
+and asserts the ``armed`` state stays within 5% of ``off`` (min-of-N
+timing to suppress scheduler noise).
+"""
+
+import time
+
+from bench_common import emit
+from repro.config import SystemConfig
+from repro.core import System
+from repro.datasets.graphs import power_law_graph
+from repro.harness import format_table
+from repro.stats.telemetry import EventBus, RecordingSink
+from repro.workloads import bfs
+
+REPEATS = 5
+OVERHEAD_BUDGET = 0.05  # acceptance: < 5% with no sinks attached
+
+
+def _run_once(attach_bus: bool, subscribe: bool) -> float:
+    config = SystemConfig()
+    graph = power_law_graph(600, 8.0, seed=3)
+    program, _ = bfs.build(graph, config, "fifer")
+    system = System(config, program, mode="fifer")
+    if attach_bus:
+        bus = EventBus()
+        system.attach_telemetry(bus)
+        if subscribe:
+            bus.subscribe(RecordingSink())
+    start = time.perf_counter()
+    system.run()
+    return time.perf_counter() - start
+
+
+def _best(attach_bus: bool, subscribe: bool) -> float:
+    return min(_run_once(attach_bus, subscribe) for _ in range(REPEATS))
+
+
+def run_overhead():
+    off = _best(False, False)
+    armed = _best(True, False)
+    on = _best(True, True)
+    rows = [
+        ["off (no bus)", f"{off * 1e3:.1f}", "-"],
+        ["armed (bus, no sinks)", f"{armed * 1e3:.1f}",
+         f"{(armed / off - 1.0):+.1%}"],
+        ["on (recording sink)", f"{on * 1e3:.1f}",
+         f"{(on / off - 1.0):+.1%}"],
+    ]
+    table = format_table(
+        ["telemetry state", "best wall time (ms)", "vs off"], rows,
+        title=(f"telemetry overhead, bfs on a 600-vertex power-law graph "
+               f"(min of {REPEATS} runs; budget: armed < "
+               f"{OVERHEAD_BUDGET:.0%})"))
+    emit("telemetry_overhead", table)
+    return off, armed, on
+
+
+def test_telemetry_overhead(benchmark):
+    off, armed, _on = benchmark.pedantic(run_overhead, rounds=1,
+                                         iterations=1)
+    assert armed <= off * (1.0 + OVERHEAD_BUDGET), (
+        f"armed telemetry overhead {(armed / off - 1.0):+.1%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%}")

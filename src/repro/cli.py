@@ -9,13 +9,23 @@ Commands:
   and print a speedup chart (a one-input slice of Fig. 13).
 * ``inputs`` — list the apps, their inputs, and the paper datasets the
   synthetic generators stand in for.
-* ``trace APP INPUT`` — run Fifer with activation tracing and print the
-  per-PE stage timeline (dynamic temporal pipelining, visualized).
+* ``trace APP INPUT [--format gantt|chrome|jsonl] [--out FILE]`` — run
+  Fifer with full telemetry. ``gantt`` prints the ASCII per-PE stage
+  timeline; ``chrome`` emits Chrome trace-event JSON (open it in
+  https://ui.perfetto.dev — one track per PE, one counter track per
+  queue); ``jsonl`` streams every structured event as JSON lines.
+* ``stats APP INPUT [--json]`` — run one experiment and print its full
+  statistics (CPI stack, cache/memory, residence); ``--json`` emits the
+  machine-readable run manifest instead.
+* ``report DIR [DIR ...]`` — load run manifests (written by
+  ``run_experiment(..., manifest_dir=...)`` or ``stats --manifest-dir``)
+  and tabulate cycles, CPI shares, and relative speedups across runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.config import SystemConfig
@@ -23,6 +33,10 @@ from repro.harness import (format_table, prepare_input, run_experiment,
                            speedup_table)
 from repro.harness.report import bar_chart
 from repro.harness.run import APP_INPUTS, SYSTEMS
+from repro.stats.manifest import (build_manifest, load_manifests,
+                                  summarize_manifests)
+from repro.stats.telemetry import (EventBus, JsonlSink, PeriodicSampler,
+                                   RecordingSink, chrome_trace)
 from repro.stats.trace import ActivationTracer
 
 
@@ -100,26 +114,119 @@ def cmd_inputs(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
-    _check_input(args.app, args.input)
+def _traceable_system(args):
     from repro.core import System
     from repro.harness.run import (_build_cgra_program, _system_config,
                                    prepare_input as prep)
     prepared = prep(args.app, args.input, scale=args.scale, seed=args.seed)
     config = _system_config(args.app, SystemConfig())
     program, _ = _build_cgra_program(prepared, config, "fifer", "decoupled")
-    system = System(config, program, mode="fifer")
-    tracer = ActivationTracer().attach(system)
-    result = system.run()
-    print(f"{args.app}/{args.input} on Fifer: {result.cycles:,.0f} cycles, "
-          f"{len(tracer.events)} activations\n")
-    print(tracer.gantt(result.cycles, max_pes=args.pes))
-    shares = tracer.stage_cycle_share(result.cycles)
-    total = sum(shares.values())
-    print("\nresident-cycle share by stage:")
-    for stage, share in sorted(shares.items(),
-                               key=lambda kv: -kv[1])[:12]:
-        print(f"  {stage:<24} {share / total:6.1%}")
+    return System(config, program, mode="fifer")
+
+
+def cmd_trace(args) -> int:
+    _check_input(args.app, args.input)
+    system = _traceable_system(args)
+
+    if args.format == "gantt":
+        with ActivationTracer().attach(system) as tracer:
+            result = system.run()
+        print(f"{args.app}/{args.input} on Fifer: {result.cycles:,.0f} "
+              f"cycles, {len(tracer.events)} activations\n")
+        print(tracer.gantt(result.cycles, max_pes=args.pes))
+        shares = tracer.stage_cycle_share(result.cycles)
+        total = sum(shares.values())
+        print("\nresident-cycle share by stage:")
+        for stage, share in sorted(shares.items(),
+                                   key=lambda kv: -kv[1])[:12]:
+            print(f"  {stage:<24} {share / total:6.1%}")
+        return 0
+
+    if args.sample_period <= 0:
+        raise SystemExit("--sample-period must be positive")
+    bus = EventBus()
+    system.attach_telemetry(bus)
+    sampler = bus.add_sampler(PeriodicSampler(args.sample_period))
+    try:
+        out = open(args.out, "w") if args.out else sys.stdout
+    except OSError as exc:
+        raise SystemExit(f"cannot write {args.out}: {exc}")
+    try:
+        if args.format == "jsonl":
+            bus.subscribe(JsonlSink(out))
+            result = system.run()
+        else:  # chrome
+            sink = bus.subscribe(RecordingSink(
+                kinds=("stage.activate", "reconfig.begin")))
+            result = system.run()
+            json.dump(chrome_trace(sink.events, result.cycles,
+                                   samples=sampler.samples,
+                                   process_name=f"{args.app}/{args.input}"),
+                      out)
+            out.write("\n")
+        bus.close()
+    finally:
+        if args.out:
+            out.close()
+    if args.out:
+        print(f"{args.app}/{args.input} on Fifer: {result.cycles:,.0f} "
+              f"cycles; {args.format} trace written to {args.out}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    _check_input(args.app, args.input)
+    result = run_experiment(args.app, args.input, args.system,
+                            variant=args.variant, scale=args.scale,
+                            seed=args.seed,
+                            manifest_dir=args.manifest_dir)
+    manifest = build_manifest(result)
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    print(f"{result.label} ({result.variant}): {result.cycles:,.0f} cycles "
+          f"in {result.wall_time_s:.2f}s wall time")
+    stack = manifest["cpi_stack"]
+    total = sum(stack.values()) or 1.0
+    rows = [[bucket, f"{value:,.0f}", f"{value / total:.1%}"]
+            for bucket, value in stack.items()]
+    print()
+    print(format_table(["bucket", "cycles", "share"], rows,
+                       title="cycle breakdown (all contexts)"))
+    caches = manifest["caches"]
+    rows = [["l1 (aggregate)", f"{caches['l1']['hits']:,}",
+             f"{caches['l1']['misses']:,}",
+             f"{caches['l1']['hit_rate']:.1%}"],
+            ["llc", f"{caches['llc'].get('hits', 0):,}",
+             f"{caches['llc'].get('misses', 0):,}",
+             f"{caches['llc'].get('hit_rate', 0.0):.1%}"]]
+    print()
+    print(format_table(["cache", "hits", "misses", "hit rate"], rows,
+                       title="memory hierarchy"))
+    mem = caches["memory"]
+    print(f"\nmain memory: {mem.get('reads', 0):,} reads, "
+          f"{mem.get('writes', 0):,} writes, "
+          f"{mem.get('bytes', 0):,} bytes")
+    if "avg_residence_cycles" in manifest:
+        print(f"avg residence {manifest['avg_residence_cycles']:.0f} cycles, "
+              f"avg reconfiguration {manifest['avg_reconfig_cycles']:.1f} "
+              f"cycles")
+    return 0
+
+
+def cmd_report(args) -> int:
+    manifests = []
+    try:
+        for directory in args.dirs:
+            manifests.extend(load_manifests(directory))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not manifests:
+        raise SystemExit(f"no manifests found under {', '.join(args.dirs)}")
+    headers, rows = summarize_manifests(manifests)
+    print(format_table(headers, rows,
+                       title=f"run manifests ({len(manifests)} runs)"))
     return 0
 
 
@@ -144,11 +251,41 @@ def main(argv=None) -> int:
     p_inputs = sub.add_parser("inputs", help="list apps and inputs")
     p_inputs.set_defaults(func=cmd_inputs)
 
-    p_trace = sub.add_parser("trace", help="Fifer activation timeline")
+    p_trace = sub.add_parser(
+        "trace", help="Fifer execution trace (ASCII, Perfetto, or JSONL)")
     _add_common(p_trace)
     p_trace.add_argument("--pes", type=int, default=8,
                          help="PEs to show in the Gantt chart")
+    p_trace.add_argument("--format", choices=("gantt", "chrome", "jsonl"),
+                         default="gantt",
+                         help="gantt: ASCII chart; chrome: Perfetto-loadable "
+                              "trace-event JSON; jsonl: raw event stream")
+    p_trace.add_argument("--out", default=None, metavar="FILE",
+                         help="write chrome/jsonl output here "
+                              "(default: stdout)")
+    p_trace.add_argument("--sample-period", type=float, default=512,
+                         metavar="CYCLES",
+                         help="queue-occupancy sampling period "
+                              "(default: 512)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="full statistics for one run (tables or JSON)")
+    _add_common(p_stats)
+    p_stats.add_argument("--system", choices=SYSTEMS, default="fifer")
+    p_stats.add_argument("--variant", choices=("decoupled", "merged"),
+                         default="decoupled")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the machine-readable run manifest")
+    p_stats.add_argument("--manifest-dir", default=None, metavar="DIR",
+                         help="also write the manifest under DIR")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_report = sub.add_parser(
+        "report", help="tabulate run manifests across runs")
+    p_report.add_argument("dirs", nargs="+", metavar="DIR",
+                          help="directories containing *.json manifests")
+    p_report.set_defaults(func=cmd_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

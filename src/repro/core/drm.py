@@ -93,6 +93,8 @@ class DRM:
         self.loads = 0
         self.miss_stall_cycles = 0.0
         self.busy_cycles = 0.0
+        # Optional telemetry Probe (repro.stats.telemetry).
+        self.probe = None
 
     def _targets(self) -> Sequence[str]:
         if self.spec.route is not None:
@@ -198,6 +200,9 @@ class DRM:
                 else:
                     cost = self._step_deref(token)
             if cost is None:  # blocked on a full output queue
+                if self.probe is not None and self.probe.bus.sinks:
+                    self.probe.emit("drm.blocked", drm=self.spec.name,
+                                    pe=self.pe_id)
                 break
             spent += cost
         self.busy_cycles += spent

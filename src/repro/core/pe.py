@@ -73,8 +73,9 @@ class ProcessingElement:
         self._debt = 0.0
         self._last_activation: Optional[float] = None
         self._stage_inputs: dict[str, list[Queue]] = {}
-        # Optional ActivationTracer (repro.stats.trace).
-        self.tracer = None
+        # Optional telemetry Probe (repro.stats.telemetry); None means
+        # instrumentation is disabled and costs one attribute check.
+        self.probe = None
 
     # -- construction ------------------------------------------------------
 
@@ -227,6 +228,12 @@ class ProcessingElement:
             self.counters.add("residence_events")
         self.counters.add("reconfig_events")
         self.counters.add("reconfig_sum", period)
+        if self.probe is not None:
+            if self.current is not None:
+                self.probe.emit("stage.deactivate", cycle=self.now,
+                                pe=self.pe_id, stage=self.current.name)
+            self.probe.emit("reconfig.begin", cycle=self.now, pe=self.pe_id,
+                            stage=incoming.name, period=period)
         self._incoming = incoming
         self._reconfig_remaining = period
         self._reconfig_period = period
@@ -238,9 +245,12 @@ class ProcessingElement:
         self._incoming = None
         self._reconfig_remaining = 0.0
         self._last_activation = self.now
-        if self.tracer is not None:
-            self.tracer.record(self.pe_id, self.current.name, self.now,
-                               self._reconfig_period)
+        if self.probe is not None:
+            self.probe.emit("reconfig.end", cycle=self.now, pe=self.pe_id,
+                            stage=self.current.name)
+            self.probe.emit("stage.activate", cycle=self.now, pe=self.pe_id,
+                            stage=self.current.name,
+                            reconfig_cycles=self._reconfig_period)
 
     def run_quantum(self, budget: float) -> None:
         """Advance this PE (and its DRMs) by ``budget`` cycles.
@@ -278,11 +288,20 @@ class ProcessingElement:
             if stage is None or not self.stage_runnable(stage):
                 nxt = self._pick_next(stage)
                 if nxt is None:
-                    self.counters.add(self._classify_blocked(), 1.0)
+                    bucket = self._classify_blocked()
+                    self.counters.add(bucket, 1.0)
+                    if self.probe is not None and self.probe.bus.sinks:
+                        self.probe.emit("pe.stall", cycle=self.now,
+                                        pe=self.pe_id, bucket=bucket)
                     remaining -= 1.0
                     self.now += 1.0
                     continue
                 if nxt is not stage:
+                    if self.probe is not None:
+                        self.probe.emit(
+                            "sched.switch", cycle=self.now, pe=self.pe_id,
+                            **{"from": stage.name if stage else None,
+                               "to": nxt.name})
                     self._begin_reconfiguration(nxt)
                     continue
             used = self._execute(self.current, remaining)
@@ -303,6 +322,18 @@ class ProcessingElement:
         return self.scheduler.pick(self)
 
     # -- reporting -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Instantaneous state for samplers: a stage name, ``(reconfig)``,
+        ``(done)``, or ``(idle)``."""
+        if self.all_done():
+            return "(done)"
+        if self._reconfig_remaining > _EPS:
+            return "(reconfig)"
+        if self.current is not None:
+            return self.current.name
+        return "(idle)"
 
     @property
     def avg_residence_cycles(self) -> float:

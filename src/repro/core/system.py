@@ -81,7 +81,7 @@ class System:
     """Instantiates a :class:`Program` on Fifer or the static baseline."""
 
     def __init__(self, config: SystemConfig, program: Program,
-                 mode: str = "fifer"):
+                 mode: str = "fifer", telemetry=None):
         if mode not in ("fifer", "static"):
             raise ValueError(f"unknown mode {mode!r}")
         if program.n_pes != config.n_pes:
@@ -144,8 +144,12 @@ class System:
                 pe.attach_drm(drm)
             pe.finalize()
             self.pes.append(pe)
+        # Optional telemetry bus (repro.stats.telemetry.EventBus).
+        self.telemetry = None
         if program.post_build is not None:
             program.post_build(self)
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
     def _n_shards(self) -> int:
         return 1 + max(p.shard for p in self.program.pe_programs)
@@ -155,6 +159,44 @@ class System:
             return self._queues[name]
         except KeyError:
             raise KeyError(f"no queue named {name!r} in the system") from None
+
+    @property
+    def queues(self) -> dict:
+        """Name -> :class:`Queue` registry (read-only by convention)."""
+        return self._queues
+
+    # -- telemetry -----------------------------------------------------------
+
+    def attach_telemetry(self, bus) -> "System":
+        """Wire a :class:`~repro.stats.telemetry.EventBus` probe into
+        every PE, DRM, queue, cache, and main memory. With no sinks
+        subscribed the probes stay near-free; call
+        :meth:`detach_telemetry` to restore the uninstrumented state."""
+        from repro.stats.telemetry import Probe
+        self.telemetry = bus
+        for pe in self.pes:
+            pe.probe = Probe(bus, f"pe{pe.pe_id}")
+            pe.l1.probe = Probe(bus, pe.l1.name)
+            for drm in pe.drms:
+                drm.probe = Probe(bus, f"drm:{drm.spec.name}")
+        for name, queue in self._queues.items():
+            queue.probe = Probe(bus, f"queue:{name}")
+        self.llc.probe = Probe(bus, "llc")
+        self.memory.probe = Probe(bus, "mem")
+        return self
+
+    def detach_telemetry(self) -> None:
+        """Remove every probe; hot paths return to the zero-cost state."""
+        self.telemetry = None
+        for pe in self.pes:
+            pe.probe = None
+            pe.l1.probe = None
+            for drm in pe.drms:
+                drm.probe = None
+        for queue in self._queues.values():
+            queue.probe = None
+        self.llc.probe = None
+        self.memory.probe = None
 
     # -- simulation ----------------------------------------------------------
 
@@ -189,12 +231,16 @@ class System:
             if max_cycles is not None and self.cycle >= max_cycles:
                 raise SimulationTimeout(
                     f"{self.program.name!r} exceeded {max_cycles} cycles")
+            if self.telemetry is not None:
+                self.telemetry.now = self.cycle
             self.memory.begin_quantum(quantum)
             for pe in self.pes:
                 pe.run_quantum(quantum)
             if self.program.control_poll is not None:
                 self.program.control_poll(self)
             self.cycle += quantum
+            if self.telemetry is not None:
+                self.telemetry.on_quantum(self)
             fingerprint = self._progress_fingerprint()
             if fingerprint == last_fingerprint:
                 stuck_quanta += 1

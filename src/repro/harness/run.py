@@ -13,6 +13,7 @@ four evaluated systems (paper Sec. 7.1) are:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -92,10 +93,18 @@ class ExperimentResult:
     correct: bool
     energy: dict
     raw: object
+    scale: Optional[float] = None
+    seed: int = 1
+    wall_time_s: float = 0.0
 
     @property
     def label(self) -> str:
         return f"{self.app}/{self.input_code}/{self.system}"
+
+    def to_manifest(self) -> dict:
+        """Schema-versioned provenance record (see repro.stats.manifest)."""
+        from repro.stats.manifest import build_manifest
+        return build_manifest(self)
 
 
 def prepare_input(app: str, code: str, scale: Optional[float] = None,
@@ -208,13 +217,26 @@ def run_experiment(app: str, input_code: str, system: str,
                    ooo_config: Optional[OOOConfig] = None,
                    scale: Optional[float] = None, seed: int = 1,
                    max_cycles: float = 2e9,
-                   check: bool = True) -> ExperimentResult:
-    """Run one experiment; see module docstring for the system names."""
+                   check: bool = True,
+                   telemetry=None,
+                   manifest_dir=None) -> ExperimentResult:
+    """Run one experiment; see module docstring for the system names.
+
+    ``telemetry`` is an optional :class:`repro.stats.telemetry.EventBus`
+    attached to the simulated system for the duration of the run (CGRA
+    systems only; the analytic OOO model publishes no events). With
+    ``manifest_dir`` set, a schema-versioned JSON run manifest (config,
+    seed, cycles, CPI stack, cache/memory stats, energy, wall time) is
+    written there; ``python -m repro report DIR`` tabulates them.
+    """
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+    if scale is None and prepared is None:
+        scale = default_scale(app, input_code)
     if prepared is None:
         prepared = prepare_input(app, input_code, scale=scale, seed=seed)
     energy_model = EnergyModel()
+    t_start = time.perf_counter()
     if system in ("serial", "multicore"):
         n_cores = 1 if system == "serial" else 4
         kernel = _ooo_kernel(prepared, n_cores)
@@ -225,17 +247,24 @@ def run_experiment(app: str, input_code: str, system: str,
         sys_config = _system_config(app, config)
         program, _workload = _build_cgra_program(
             prepared, sys_config, system, variant)
-        raw = System(sys_config, program, mode=system).run(
-            max_cycles=max_cycles)
+        raw = System(sys_config, program, mode=system,
+                     telemetry=telemetry).run(max_cycles=max_cycles)
         energy = energy_model.cgra_energy(raw).as_dict()
         result = raw.result
+    wall_time_s = time.perf_counter() - t_start
     correct = _check(app, result, prepared.golden) if check else True
     if check and not correct:
         raise AssertionError(
             f"{app}/{input_code}/{system}/{variant}: functional result "
             f"does not match the golden reference")
-    return ExperimentResult(app, input_code, system, variant,
-                            float(raw.cycles), correct, energy, raw)
+    experiment = ExperimentResult(app, input_code, system, variant,
+                                  float(raw.cycles), correct, energy, raw,
+                                  scale=scale, seed=seed,
+                                  wall_time_s=wall_time_s)
+    if manifest_dir is not None:
+        from repro.stats.manifest import write_manifest
+        write_manifest(experiment.to_manifest(), manifest_dir)
+    return experiment
 
 
 def speedup_table(results: dict, baseline_system: str = "multicore"):

@@ -19,6 +19,10 @@ from repro.config import CacheConfig, MemoryConfig
 class MainMemory:
     """Latency + bandwidth model for HBM."""
 
+    # Optional telemetry Probe (repro.stats.telemetry); instance attrs
+    # shadow this when System.attach_telemetry wires the hierarchy.
+    probe = None
+
     def __init__(self, config: MemoryConfig, line_bytes: int = 64):
         self.config = config
         self.line_bytes = line_bytes
@@ -43,6 +47,11 @@ class MainMemory:
         if over > 0:
             # Queueing penalty: excess traffic drains at the peak rate.
             latency += over / self.config.bandwidth_bytes_per_cycle
+        if self.probe is not None and self.probe.bus.sinks:
+            now = self.probe.bus.now
+            self.probe.emit("mem.issue", cycle=now, addr=addr, write=write)
+            self.probe.emit("mem.complete", cycle=now + latency, addr=addr,
+                            latency=latency)
         return latency
 
     @property
@@ -61,6 +70,9 @@ class Cache:
     ``access`` returns the total latency of the access including any
     parent latencies on a miss.
     """
+
+    # Optional telemetry Probe; see MainMemory.probe.
+    probe = None
 
     def __init__(self, name: str, config: CacheConfig, parent):
         self.name = name
@@ -96,6 +108,9 @@ class Cache:
             cache_set[line] = dirty  # move to MRU position
             return float(self.config.latency)
         self.misses += 1
+        if self.probe is not None and self.probe.bus.sinks:
+            self.probe.emit("cache.miss", level=self.name, addr=addr,
+                            write=write)
         latency = self.config.latency + self.parent.access(addr, write=False)
         if len(cache_set) >= self.config.ways:
             victim, victim_dirty = next(iter(cache_set.items()))

@@ -47,6 +47,11 @@ class Queue:
     credit-based flow control when it names more than one producer.
     """
 
+    # Optional telemetry Probe (repro.stats.telemetry), shadowed per
+    # instance by System.attach_telemetry; the class default keeps the
+    # uninstrumented hot path to one attribute lookup.
+    probe = None
+
     def __init__(self, name: str, capacity_words: int, entry_words: int = 1,
                  producers: Sequence[Hashable] = (),
                  control_only: bool = False):
@@ -96,7 +101,14 @@ class Queue:
             if producer not in self._credits:
                 raise KeyError(
                     f"queue {self.name!r}: unknown producer {producer!r}")
-            return self._credits[producer] >= words
+            ok = self._credits[producer] >= words
+            if (not ok and self.probe is not None and self.probe.bus.sinks
+                    and self.free_words >= words):
+                # Space exists but this producer's credit share is
+                # exhausted: the Sec. 5.6 flow-control stall.
+                self.probe.emit("queue.credit_stall", queue=self.name,
+                                producer=str(producer))
+            return ok
         return self.free_words >= words
 
     def enq(self, value: Any, is_control: bool = False,
@@ -111,6 +123,10 @@ class Queue:
         self._tokens.append(token)
         self._occupancy_words += words
         self.total_enqueued += 1
+        if self.probe is not None and self.probe.bus.sinks:
+            self.probe.emit("queue.enq", queue=self.name, words=words,
+                            occupancy=self._occupancy_words,
+                            control=is_control)
 
     # -- dequeue side ------------------------------------------------------
 
@@ -130,4 +146,7 @@ class Queue:
         self._occupancy_words -= words
         if self._credits is not None:
             self._credits[token.producer] += words
+        if self.probe is not None and self.probe.bus.sinks:
+            self.probe.emit("queue.deq", queue=self.name, words=words,
+                            occupancy=self._occupancy_words)
         return token

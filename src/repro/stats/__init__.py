@@ -1,8 +1,21 @@
-"""Statistics: counters, CPI stacks, residence-time tracking."""
+"""Statistics: counters, CPI stacks, telemetry bus, tracing, manifests."""
 
 from repro.stats.counters import Counters
 from repro.stats.cpi_stack import CPI_BUCKETS, cpi_stack, merge_stacks
+from repro.stats.manifest import (MANIFEST_SCHEMA_VERSION, build_manifest,
+                                  load_manifest, load_manifests,
+                                  summarize_manifests, write_manifest)
+from repro.stats.telemetry import (EventBus, EventSink, JsonlSink,
+                                   PeriodicSampler, Probe, RecordingSink,
+                                   TelemetryEvent, chrome_trace,
+                                   write_chrome_trace)
 from repro.stats.trace import ActivationEvent, ActivationTracer
 
-__all__ = ["Counters", "CPI_BUCKETS", "cpi_stack", "merge_stacks",
-           "ActivationEvent", "ActivationTracer"]
+__all__ = [
+    "Counters", "CPI_BUCKETS", "cpi_stack", "merge_stacks",
+    "ActivationEvent", "ActivationTracer",
+    "EventBus", "EventSink", "JsonlSink", "PeriodicSampler", "Probe",
+    "RecordingSink", "TelemetryEvent", "chrome_trace", "write_chrome_trace",
+    "MANIFEST_SCHEMA_VERSION", "build_manifest", "load_manifest",
+    "load_manifests", "summarize_manifests", "write_manifest",
+]

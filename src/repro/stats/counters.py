@@ -27,6 +27,22 @@ class Counters:
         for name, value in other._values.items():
             self._values[name] += value
 
+    def total(self) -> float:
+        """Sum of all counter values."""
+        return sum(self._values.values())
+
+    def items(self):
+        """``(name, value)`` pairs in sorted-name order (deterministic
+        for exporters); missing names still read as zero elsewhere."""
+        return sorted(self._values.items())
+
+    def scaled(self, factor: float) -> "Counters":
+        """A new ``Counters`` with every value multiplied by ``factor``."""
+        scaled = Counters()
+        for name, value in self._values.items():
+            scaled._values[name] = value * factor
+        return scaled
+
     def as_dict(self) -> dict[str, float]:
         return dict(self._values)
 

@@ -1,0 +1,319 @@
+"""Structured telemetry: an event bus the whole simulator publishes to.
+
+Every simulation component (PE engine, scheduler, DRMs, queues, caches,
+main memory) owns an optional :class:`Probe`. With no telemetry attached
+the probe attribute is ``None`` and instrumentation reduces to a single
+attribute check on each (already rare) event site — a zero-cost no-op.
+Attaching an :class:`EventBus` (``System.attach_telemetry``) wires a
+probe into every component; subscribing :class:`EventSink` objects to
+the bus then receives a totally ordered stream of structured
+:class:`TelemetryEvent` records.
+
+Event taxonomy (``kind`` / payload fields):
+
+========================  ====================================================
+``stage.activate``        ``pe``, ``stage``, ``reconfig_cycles`` — a stage
+                          became active on a PE (after any reconfiguration)
+``stage.deactivate``      ``pe``, ``stage`` — the outgoing stage stopped
+``reconfig.begin``        ``pe``, ``stage`` (incoming), ``period``
+``reconfig.end``          ``pe``, ``stage``
+``sched.switch``          ``pe``, ``from``, ``to`` — scheduler decision
+``pe.stall``              ``pe``, ``bucket`` — one blocked cycle, attributed
+                          to a CPI bucket (queue full/empty/idle)
+``queue.enq``             ``queue``, ``words``, ``occupancy``, ``control``
+``queue.deq``             ``queue``, ``words``, ``occupancy``
+``queue.credit_stall``    ``queue``, ``producer`` — space exists but the
+                          producer is out of credits (Sec. 5.6 flow control)
+``cache.miss``            ``level``, ``addr``, ``write``
+``mem.issue``             ``addr``, ``write`` — request enters main memory
+``mem.complete``          ``addr``, ``latency`` — stamped at completion time
+``drm.blocked``           ``drm`` — a DRM stalled on a full output queue
+``sample``                ``queues``, ``pe_state``, ``cpi`` — periodic
+                          sampler output (see :class:`PeriodicSampler`)
+========================  ====================================================
+
+On top of the bus live a periodic sampler (queue-occupancy and per-PE
+time series — a superset of the paper's Fig. 14/16 data), a JSONL sink,
+and a Chrome trace-event exporter whose output loads directly in
+Perfetto (https://ui.perfetto.dev): one track per PE with stage and
+reconfiguration slices, plus one counter track per queue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.stats.cpi_stack import cpi_stack
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured event: a timestamp, a kind, a source, a payload.
+
+    ``seq`` is a bus-global monotonic sequence number that totally
+    orders events even when several share a timestamp (e.g. a
+    ``reconfig.end`` and the ``stage.activate`` it enables).
+    """
+
+    cycle: float
+    seq: int
+    kind: str
+    source: str
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"cycle": self.cycle, "seq": self.seq, "kind": self.kind,
+                "source": self.source, **self.data}
+
+
+class EventSink:
+    """Receives events from an :class:`EventBus`; subclass and override."""
+
+    def on_event(self, event: TelemetryEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; the default is a no-op."""
+
+
+class Probe:
+    """A component's handle onto the bus (cheap to hold, cheap to skip).
+
+    Publishers call ``emit`` only behind an ``if self.probe is not None``
+    guard; ``emit`` itself drops the event unless the bus has sinks, so
+    an attached-but-unsubscribed bus costs one method call per event
+    site and allocates nothing.
+    """
+
+    __slots__ = ("bus", "source")
+
+    def __init__(self, bus: "EventBus", source: str):
+        self.bus = bus
+        self.source = source
+
+    def emit(self, kind: str, cycle: Optional[float] = None, **data) -> None:
+        bus = self.bus
+        if bus.sinks:
+            bus.emit(kind, self.source, cycle=cycle, **data)
+
+
+class EventBus:
+    """Fan-out hub: publishers emit, sinks subscribe, samplers tick.
+
+    ``now`` is the bus clock: the :class:`~repro.core.system.System`
+    updates it to the current cycle at every quantum boundary, and PEs
+    pass their own (sub-quantum) ``now`` explicitly. Components without
+    a clock of their own (queues, caches, memory) timestamp events with
+    ``now``, so their timestamps are quantum-granular.
+    """
+
+    def __init__(self):
+        self.sinks: list = []
+        self.samplers: list = []
+        self.now = 0.0
+        self.seq = 0
+
+    # -- sinks -------------------------------------------------------------
+
+    def subscribe(self, sink: EventSink) -> EventSink:
+        if sink not in self.sinks:
+            self.sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: EventSink) -> None:
+        if sink in self.sinks:
+            self.sinks.remove(sink)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.sinks)
+
+    def emit(self, kind: str, source: str,
+             cycle: Optional[float] = None, **data) -> None:
+        if not self.sinks:
+            return
+        event = TelemetryEvent(self.now if cycle is None else cycle,
+                               self.seq, kind, source, data)
+        self.seq += 1
+        for sink in self.sinks:
+            sink.on_event(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    # -- samplers ----------------------------------------------------------
+
+    def add_sampler(self, sampler: "PeriodicSampler") -> "PeriodicSampler":
+        if sampler not in self.samplers:
+            self.samplers.append(sampler)
+            sampler.bus = self
+        return sampler
+
+    def on_quantum(self, system) -> None:
+        """Advance the bus clock and run due samplers (one call/quantum)."""
+        self.now = system.cycle
+        for sampler in self.samplers:
+            sampler.maybe_sample(system)
+
+
+class RecordingSink(EventSink):
+    """Collects events in memory, optionally filtered to a set of kinds."""
+
+    def __init__(self, kinds=None):
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.events: list[TelemetryEvent] = []
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        if self.kinds is None or event.kind in self.kinds:
+            self.events.append(event)
+
+
+class JsonlSink(EventSink):
+    """Streams every event as one JSON object per line."""
+
+    def __init__(self, stream, kinds=None):
+        self.stream = stream
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.n_events = 0
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        if self.kinds is None or event.kind in self.kinds:
+            self.stream.write(json.dumps(event.as_dict()) + "\n")
+            self.n_events += 1
+
+    def close(self) -> None:
+        self.stream.flush()
+
+
+class PeriodicSampler:
+    """Samples queue occupancy and per-PE state every ``period`` cycles.
+
+    Sampling happens at quantum boundaries: each due point ``k*period``
+    is recorded at the first boundary at or after it, and due points
+    that fall inside one quantum collapse into a single sample — so for
+    ``period >= quantum`` there are exactly ``floor(C/period) + 1``
+    samples over ``C`` cycles, and for ``period < quantum`` one sample
+    per quantum.
+
+    Each sample is a plain dict::
+
+        {"cycle": float,
+         "queues": {name: occupancy_words},
+         "pe_state": [state per PE: a stage name, "(reconfig)", "(idle)",
+                      or "(done)"],
+         "cpi": [per-PE Fig. 14 bucket dict, cumulative since cycle 0]}
+
+    Differencing consecutive ``cpi`` entries yields time-resolved CPI
+    stacks; ``queues`` series render as Perfetto counter tracks.
+    """
+
+    def __init__(self, period: float, publish: bool = True):
+        if period <= 0:
+            raise ValueError(f"sampler period must be positive, got {period}")
+        self.period = float(period)
+        self.publish = publish
+        self.samples: list[dict] = []
+        self.bus: Optional[EventBus] = None
+        self._next = 0.0
+
+    def maybe_sample(self, system) -> None:
+        if system.cycle + _EPS < self._next:
+            return
+        self.sample(system)
+        self._next = (math.floor(system.cycle / self.period) + 1) * self.period
+
+    def sample(self, system) -> dict:
+        """Record one sample immediately (regardless of the period)."""
+        cycle = system.cycle
+        record = {
+            "cycle": cycle,
+            "queues": {name: queue.occupancy_words
+                       for name, queue in system.queues.items()},
+            "pe_state": [pe.state for pe in system.pes],
+            "cpi": [cpi_stack(pe.counters, cycle) for pe in system.pes],
+        }
+        self.samples.append(record)
+        if self.publish and self.bus is not None:
+            self.bus.emit("sample", "sampler", cycle=cycle,
+                          queues=record["queues"],
+                          pe_state=record["pe_state"],
+                          cpi=record["cpi"])
+        return record
+
+
+# -- Chrome trace-event export ---------------------------------------------
+
+def chrome_trace(events, end_cycle: float, samples=(),
+                 process_name: str = "fifer") -> dict:
+    """Convert bus events (+ sampler samples) to Chrome trace-event JSON.
+
+    The returned dict serializes to a file Perfetto and
+    ``chrome://tracing`` load directly. Stage residencies and
+    reconfiguration periods become complete ("X") slices on one track
+    (``tid``) per PE; queue-occupancy samples become counter ("C")
+    tracks. Timestamps are cycles (1 "us" == 1 cycle).
+
+    ``events`` needs only ``stage.activate`` and ``reconfig.begin``
+    kinds (others are ignored), so a filtered :class:`RecordingSink`
+    keeps memory bounded on long runs.
+    """
+    trace: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": 0,
+         "args": {"name": process_name}},
+    ]
+    # Replay activations/reconfigurations per PE into closed spans.
+    open_span: dict[int, dict] = {}   # pe -> {"name", "cat", "ts"}
+    pes_seen: set = set()
+
+    def close(pe: int, at: float) -> None:
+        span = open_span.pop(pe, None)
+        if span is None:
+            return
+        ts = min(span["ts"], end_cycle)
+        dur = max(0.0, min(at, end_cycle) - ts)
+        trace.append({"ph": "X", "name": span["name"], "cat": span["cat"],
+                      "ts": ts, "dur": dur, "pid": 0, "tid": pe,
+                      "args": span.get("args", {})})
+
+    for event in sorted(events, key=lambda e: (e.cycle, e.seq)):
+        if event.kind == "reconfig.begin":
+            pe = event.data["pe"]
+            pes_seen.add(pe)
+            close(pe, event.cycle)
+            if event.data.get("period", 0.0) > 0.0:
+                open_span[pe] = {"name": "(reconfig)", "cat": "reconfig",
+                                 "ts": event.cycle,
+                                 "args": {"incoming": event.data["stage"]}}
+        elif event.kind == "stage.activate":
+            pe = event.data["pe"]
+            pes_seen.add(pe)
+            close(pe, event.cycle)
+            open_span[pe] = {"name": event.data["stage"], "cat": "stage",
+                             "ts": event.cycle}
+    for pe in sorted(open_span):
+        close(pe, end_cycle)
+    for pe in sorted(pes_seen):
+        trace.append({"ph": "M", "name": "thread_name", "pid": 0, "tid": pe,
+                      "args": {"name": f"PE {pe}"}})
+
+    for sample in samples:
+        for name, words in sample["queues"].items():
+            trace.append({"ph": "C", "name": f"queue {name}", "pid": 0,
+                          "ts": sample["cycle"], "args": {"words": words}})
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms",
+            "otherData": {"clock": "cycles", "end_cycle": end_cycle}}
+
+
+def write_chrome_trace(stream, events, end_cycle: float, samples=(),
+                       **kwargs) -> None:
+    """Serialize :func:`chrome_trace` output to an open text stream."""
+    json.dump(chrome_trace(events, end_cycle, samples=samples, **kwargs),
+              stream)
+    stream.write("\n")

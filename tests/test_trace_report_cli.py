@@ -1,5 +1,7 @@
 """Tests for activation tracing, ASCII reporting, and the CLI."""
 
+import json
+
 import pytest
 
 from repro.config import SystemConfig
@@ -108,6 +110,54 @@ class TestCLI:
                          "--pes", "2"]) == 0
         out = capsys.readouterr().out
         assert "PE0" in out and "legend:" in out
+
+    def test_trace_chrome_format(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert cli_main(["trace", "bfs", "Hu", "--scale", "0.12",
+                         "--format", "chrome", "--out", str(out)]) == 0
+        assert "trace written" in capsys.readouterr().err
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        pe_tracks = {e["tid"] for e in events if e["ph"] == "X"}
+        assert len(pe_tracks) >= 1
+        counter_tracks = {e["name"] for e in events if e["ph"] == "C"}
+        assert counter_tracks and all(n.startswith("queue ")
+                                      for n in counter_tracks)
+
+    def test_trace_jsonl_format(self, capsys):
+        assert cli_main(["trace", "bfs", "Hu", "--scale", "0.12",
+                         "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) > 100
+        record = json.loads(lines[0])
+        assert {"cycle", "seq", "kind", "source"} <= set(record)
+
+    def test_stats_command(self, capsys):
+        assert cli_main(["stats", "bfs", "Hu", "--scale", "0.12"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle breakdown" in out
+        assert "memory hierarchy" in out
+        assert "avg residence" in out
+
+    def test_stats_json_and_report(self, tmp_path, capsys):
+        manifest_dir = tmp_path / "manifests"
+        assert cli_main(["stats", "bfs", "Hu", "--scale", "0.12", "--json",
+                         "--manifest-dir", str(manifest_dir)]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["app"] == "bfs" and manifest["cycles"] > 0
+        assert cli_main(["stats", "bfs", "Hu", "--scale", "0.12",
+                         "--system", "static",
+                         "--manifest-dir", str(manifest_dir)]) == 0
+        capsys.readouterr()
+        assert cli_main(["report", str(manifest_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "bfs/Hu/fifer/decoupled" in out
+        assert "bfs/Hu/static/decoupled" in out
+
+    def test_report_rejects_empty_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["report", str(tmp_path)])
 
     def test_unknown_input_rejected(self):
         with pytest.raises(SystemExit):
