@@ -12,29 +12,32 @@ Sweeps the two DRM timing parameters this model exposes:
 Both sweeps run Fifer on BFS and Silo (the most DRM-dependent apps).
 """
 
-from bench_common import emit, prepared
-from repro.config import SystemConfig
+from bench_common import ALL_APPS, emit, experiment, point, prefetch
 from repro.harness import format_table
-from repro.harness.run import run_experiment
+
+_CASES = tuple((app, code) for app, code in (("bfs", "In"), ("silo", "YC"))
+               if app in ALL_APPS)
+_CONFIGS = (
+    ("no miss overlap", dict(drm_max_outstanding=1)),
+    ("2 outstanding", dict(drm_max_outstanding=2)),
+    ("8 outstanding (default)", dict()),
+    ("1 access/cycle", dict(drm_issue_width=1)),
+    ("4 accesses/cycle (default)", dict()),
+)
 
 
 def _run(app, code, **config_kwargs):
-    config = SystemConfig(**config_kwargs)
-    return run_experiment(app, code, "fifer", prepared=prepared(app, code),
-                          config=config).cycles
+    return experiment(app, code, "fifer", **config_kwargs).cycles
 
 
 def run_drm_ablation():
+    prefetch(point(app, code, "fifer", **kwargs)
+             for app, code in _CASES for _, kwargs in _CONFIGS)
     rows = []
     outcomes = {}
-    for app, code in (("bfs", "In"), ("silo", "YC")):
+    for app, code in _CASES:
         base = _run(app, code)
-        for label, kwargs in (
-                ("no miss overlap", dict(drm_max_outstanding=1)),
-                ("2 outstanding", dict(drm_max_outstanding=2)),
-                ("8 outstanding (default)", dict()),
-                ("1 access/cycle", dict(drm_issue_width=1)),
-                ("4 accesses/cycle (default)", dict())):
+        for label, kwargs in _CONFIGS:
             cycles = _run(app, code, **kwargs)
             rows.append([f"{app}/{code}", label, f"{base / cycles:.2f}x"])
             outcomes[(app, label)] = base / cycles

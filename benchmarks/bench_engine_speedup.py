@@ -1,0 +1,73 @@
+"""Engine micro-benchmark: fast vs naive wall time on the Fig. 13 grid.
+
+The fast engine bulk-charges blocked spans instead of ticking them
+cycle by cycle (docs/performance.md); both engines are cycle- and
+counter-exact (tests/test_engine_equivalence.py), so the only
+difference is wall time. This benchmark runs the full Fig. 13
+experiment grid end-to-end under each engine and asserts the fast
+engine clears a regression floor; the measured ratio is recorded in
+``benchmarks/results/engine_speedup.txt``.
+
+Two different ratios matter here and they are easy to conflate:
+
+* **engine speedup** (this benchmark): naive vs fast *on the same
+  build*. Both engines share the optimized simulation primitives
+  (queues, caches, counters, DRM stepping), so this isolates what the
+  bulk-stall shortcut alone buys. The floor below is deliberately a
+  regression guard, not a marketing number.
+* **end-to-end speedup** (the PR-level claim): the pre-change
+  bench_fig13 wall time vs the current default engine. That includes
+  the shared hot-path optimizations, which sped the naive reference up
+  too; the measured before/after record lives in
+  ``benchmarks/results/fig13_wall_time.txt`` and docs/performance.md.
+"""
+
+import time
+from dataclasses import replace
+
+from bench_common import WORKERS, emit
+from bench_fig13_performance import fig13_points
+from repro.harness import format_table, run_sweep
+
+# Same-build naive-vs-fast floor. The blocked-span shortcut only pays
+# where stall cycles dominate (static/fifer points); OOO baseline
+# points are engine-neutral, so the grid-wide ratio is well under the
+# per-point peaks (~3x on stall-heavy points).
+SPEEDUP_FLOOR = 1.15
+
+
+def _timed_sweep(points, engine):
+    pts = [replace(p, engine=engine) for p in points]
+    start = time.perf_counter()
+    results = run_sweep(pts, workers=WORKERS)
+    return time.perf_counter() - start, results
+
+
+def run_engine_speedup():
+    points = fig13_points()
+    # Warm the per-process input caches so neither engine pays for
+    # synthetic input generation inside its timed window.
+    _timed_sweep(points, "fast")
+    t_naive, naive = _timed_sweep(points, "naive")
+    t_fast, fast = _timed_sweep(points, "fast")
+    assert [r.cycles for r in naive] == [r.cycles for r in fast]
+    speedup = t_naive / t_fast
+    rows = [
+        ["naive (per-cycle reference)", f"{t_naive:.2f}", "1.00x"],
+        ["fast (bulk stall skip)", f"{t_fast:.2f}", f"{speedup:.2f}x"],
+    ]
+    table = format_table(
+        ["engine", "wall time (s)", "speedup"], rows,
+        title=(f"fig13 grid ({len(points)} experiments) end-to-end wall "
+               f"time by simulation engine, same build (floor: >= "
+               f"{SPEEDUP_FLOOR}x; see fig13_wall_time.txt for the "
+               f"before/after record)"))
+    emit("engine_speedup", table)
+    return speedup
+
+
+def test_engine_speedup(benchmark):
+    speedup = benchmark.pedantic(run_engine_speedup, rounds=1, iterations=1)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast engine speedup {speedup:.2f}x is under the "
+        f"{SPEEDUP_FLOOR}x floor")

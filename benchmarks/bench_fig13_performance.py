@@ -14,9 +14,17 @@ Absolute factors differ (scaled inputs, analytic OOO model); the
 ordering Fifer > static > multicore > serial should hold per the paper.
 """
 
-from bench_common import ALL_APPS, app_inputs, emit, experiment
+from bench_common import ALL_APPS, app_inputs, emit, experiment, point, prefetch
 from repro.harness import format_table, gmean
 from repro.harness.run import SYSTEMS
+
+
+def fig13_points():
+    """The full Fig. 13 grid: every app x input x system."""
+    return [point(app, code, system)
+            for app in ALL_APPS
+            for code in app_inputs(app)
+            for system in SYSTEMS]
 
 
 def _speedups(app: str):
@@ -35,6 +43,7 @@ def _speedups(app: str):
 
 
 def run_fig13():
+    prefetch(fig13_points())
     blocks = []
     fifer_all, static_all, serial_all = [], [], []
     for app in ALL_APPS:

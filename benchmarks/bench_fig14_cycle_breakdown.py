@@ -12,7 +12,8 @@ to the static pipeline. Expected shape (Sec. 8.2):
   reconfiguration share (largest in SpMM, the control-intensive app).
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, emit, experiment, point,
+                          prefetch)
 from repro.harness import format_table
 
 _SYSTEMS = (("I", "serial"), ("D", "multicore"),
@@ -26,6 +27,8 @@ def _stack(app, code, system):
 
 
 def run_fig14():
+    prefetch(point(app, REPRESENTATIVE[app], system)
+             for app in ALL_APPS for _, system in _SYSTEMS)
     rows = []
     fifer_queue_fraction = {}
     static_queue_fraction = {}

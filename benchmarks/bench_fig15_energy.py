@@ -13,7 +13,8 @@ and leakage for the serial OOO (I), OOO multicore (D), static pipeline
   4-core OOO.
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, emit, experiment, point,
+                          prefetch)
 from repro.harness import format_table, gmean
 
 _SYSTEMS = (("I", "serial"), ("D", "multicore"),
@@ -22,6 +23,8 @@ _BUCKETS = ("memory", "caches", "compute", "leakage")
 
 
 def run_fig15():
+    prefetch(point(app, REPRESENTATIVE[app], system)
+             for app in ALL_APPS for _, system in _SYSTEMS)
     rows = []
     ratios_static_vs_multicore = []
     ratios_fifer_vs_static = []

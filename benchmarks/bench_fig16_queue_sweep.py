@@ -13,13 +13,21 @@ shape (Sec. 8.3):
   reconfigurations matter less at large sizes.
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, emit, experiment, point,
+                          prefetch)
 from repro.harness import format_table
 
 QUEUE_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
 
 
 def run_fig16():
+    prefetch([point(app, REPRESENTATIVE[app], "fifer")
+              for app in ALL_APPS]
+             + [point(app, REPRESENTATIVE[app], "fifer", queue_scale=scale,
+                      double_buffered=double_buffered)
+                for app in ALL_APPS
+                for double_buffered in (True, False)
+                for scale in QUEUE_SCALES])
     rows = []
     shapes = {}
     for app in ALL_APPS:

@@ -13,15 +13,28 @@ reintroduced), on both the static pipeline and Fifer. Expected shape
 * Silo degrades slightly when merged.
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, app_inputs, emit,
+                          experiment, point, prefetch)
 from repro.harness import format_table
 
 # SpMM shows its crossover between sparse (FS) and dense (St) inputs.
 _CASES = [(app, REPRESENTATIVE[app]) for app in ALL_APPS]
-_CASES.insert(5, ("spmm", "St"))
+if "spmm" in ALL_APPS:
+    _CASES.insert(_CASES.index(("spmm", REPRESENTATIVE["spmm"])) + 1,
+                  ("spmm", "St"))
 
 
 def run_fig17():
+    grid = [point(app, code, system, variant=variant)
+            for app, code in _CASES
+            for system, variant in (("static", "decoupled"),
+                                    ("static", "merged"),
+                                    ("fifer", "decoupled"))]
+    if "spmm" in ALL_APPS:
+        grid += [point("spmm", code, "fifer", variant=variant)
+                 for code in app_inputs("spmm")
+                 for variant in ("decoupled", "merged")]
+    prefetch(grid)
     rows = []
     ratios = {}
     for app, code in _CASES:
@@ -43,21 +56,23 @@ def run_fig17():
     # Sec. 8.4's closing observation: Fifer picking the coupled pipeline
     # for the inputs that benefit and the decoupled one otherwise is
     # ~12% faster than always-decoupled Fifer across SpMM inputs.
-    from bench_common import app_inputs
     from repro.harness import gmean
-    gains = []
-    for code in app_inputs("spmm"):
-        decoupled = experiment("spmm", code, "fifer").cycles
-        merged = experiment("spmm", code, "fifer", variant="merged").cycles
-        gains.append(decoupled / min(decoupled, merged))
-    adaptive = gmean(gains)
-    extra = format_table(
-        ["metric", "paper", "measured"],
-        [["adaptive Fifer vs decoupled Fifer (SpMM gmean)", "1.12x",
-          f"{adaptive:.2f}x"]],
-        title="Sec. 8.4: per-input best-variant selection")
-    emit("fig17_merged_stages", table + "\n\n" + extra)
-    ratios["adaptive"] = adaptive
+    extra = ""
+    if "spmm" in ALL_APPS:
+        gains = []
+        for code in app_inputs("spmm"):
+            decoupled = experiment("spmm", code, "fifer").cycles
+            merged = experiment("spmm", code, "fifer",
+                                variant="merged").cycles
+            gains.append(decoupled / min(decoupled, merged))
+        adaptive = gmean(gains)
+        extra = "\n\n" + format_table(
+            ["metric", "paper", "measured"],
+            [["adaptive Fifer vs decoupled Fifer (SpMM gmean)", "1.12x",
+              f"{adaptive:.2f}x"]],
+            title="Sec. 8.4: per-input best-variant selection")
+        ratios["adaptive"] = adaptive
+    emit("fig17_merged_stages", table + extra)
     return ratios
 
 

@@ -19,11 +19,16 @@ only ~10% — is what makes coarse-grained switching the right tradeoff;
 this benchmark reproduces that bracket per application.
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, emit, experiment, point,
+                          prefetch)
 from repro.harness import format_table, gmean
 
 
 def run_fine_grained():
+    prefetch(point(app, REPRESENTATIVE[app], "fifer", **kwargs)
+             for app in ALL_APPS
+             for kwargs in (dict(), dict(zero_cost=True),
+                            dict(zero_cost=True, max_simd_replication=2)))
     rows = []
     upper_bounds = []
     shared = []
@@ -32,17 +37,8 @@ def run_fine_grained():
         fifer = experiment(app, code, "fifer").cycles
         free = experiment(app, code, "fifer", zero_cost=True).cycles
         # Zero-cost switching with a quarter of the per-stage SIMD width.
-        from repro.config import SystemConfig
-        from repro.harness.run import run_experiment
-        from bench_common import prepared
-        config = SystemConfig(zero_cost_reconfig=True,
-                              max_simd_replication=2)
-        if app == "silo":
-            from repro.workloads.silo import recommended_config
-            config = recommended_config(config)
-        quarter = run_experiment(app, code, "fifer",
-                                 prepared=prepared(app, code),
-                                 config=config).cycles
+        quarter = experiment(app, code, "fifer", zero_cost=True,
+                             max_simd_replication=2).cycles
         rows.append([app, f"{fifer / free:.2f}x", f"{fifer / quarter:.2f}x"])
         upper_bounds.append(fifer / free)
         shared.append(fifer / quarter)

@@ -8,26 +8,25 @@ from 4 to 32 PEs on BFS and SpMM and reports throughput scaling for
 both Fifer and the static pipeline.
 """
 
-from bench_common import emit, prepared
-from repro.config import SystemConfig
+from bench_common import ALL_APPS, emit, experiment, point, prefetch
 from repro.harness import format_table
-from repro.harness.run import run_experiment
 
 PE_COUNTS = (4, 8, 16, 32)
+_CASES = tuple((app, code) for app, code in (("bfs", "In"), ("spmm", "GE"))
+               if app in ALL_APPS)
 
 
 def run_scaling():
+    prefetch(point(app, code, mode, n_pes=n_pes)
+             for app, code in _CASES
+             for mode in ("static", "fifer")
+             for n_pes in PE_COUNTS)
     rows = []
     scaling = {}
-    for app, code in (("bfs", "In"), ("spmm", "GE")):
+    for app, code in _CASES:
         for mode in ("static", "fifer"):
-            cycles = {}
-            for n_pes in PE_COUNTS:
-                config = SystemConfig(n_pes=n_pes)
-                result = run_experiment(app, code, mode,
-                                        prepared=prepared(app, code),
-                                        config=config)
-                cycles[n_pes] = result.cycles
+            cycles = {n_pes: experiment(app, code, mode, n_pes=n_pes).cycles
+                      for n_pes in PE_COUNTS}
             speedups = [cycles[PE_COUNTS[0]] / cycles[n] for n in PE_COUNTS]
             rows.append([f"{app}/{code}", mode]
                         + [f"{s:.2f}" for s in speedups])

@@ -7,11 +7,14 @@ worse because they increase reconfiguration frequency while total work
 stays constant.
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, emit, experiment, point,
+                          prefetch)
 from repro.harness import format_table, gmean
 
 
 def run_scheduler_policy():
+    prefetch(point(app, REPRESENTATIVE[app], "fifer", policy=policy)
+             for app in ALL_APPS for policy in ("most-work", "round-robin"))
     rows = []
     ratios = []
     reconfig_ratio = []

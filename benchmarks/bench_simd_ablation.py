@@ -9,24 +9,25 @@ performance, quantifying how much of its throughput comes from filling
 the fabric.
 """
 
-from bench_common import emit, experiment, prepared
-from repro.config import SystemConfig
+from bench_common import ALL_APPS, emit, experiment, point, prefetch
 from repro.harness import format_table
-from repro.harness.run import run_experiment
 
 CAPS = (1, 2, 4, None)
+_CASES = tuple((app, code)
+               for app, code in (("bfs", "In"), ("cc", "Hu"), ("spmm", "GE"))
+               if app in ALL_APPS)
 
 
 def _run(app, code, cap):
-    config = SystemConfig(max_simd_replication=cap)
-    return run_experiment(app, code, "fifer", prepared=prepared(app, code),
-                          config=config).cycles
+    return experiment(app, code, "fifer", max_simd_replication=cap).cycles
 
 
 def run_simd_ablation():
+    prefetch(point(app, code, "fifer", max_simd_replication=cap)
+             for app, code in _CASES for cap in CAPS)
     rows = []
     gains = {}
-    for app, code in (("bfs", "In"), ("cc", "Hu"), ("spmm", "GE")):
+    for app, code in _CASES:
         base = _run(app, code, None)
         speedups = [base / _run(app, code, cap) for cap in CAPS]
         rows.append([f"{app}/{code}"]

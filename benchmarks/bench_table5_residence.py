@@ -13,7 +13,8 @@ periods are tens of cycles, an order of magnitude below residences.
 Quadrupling queue storage lengthens residences (~3x in the paper).
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, emit, experiment, point,
+                          prefetch)
 from repro.harness import format_table
 
 _PAPER = {"bfs": (140, 12.5), "cc": (279, 13.9), "prd": (927, 20.4),
@@ -21,6 +22,8 @@ _PAPER = {"bfs": (140, 12.5), "cc": (279, 13.9), "prd": (927, 20.4),
 
 
 def run_table5():
+    prefetch(point(app, REPRESENTATIVE[app], "fifer", queue_scale=scale)
+             for app in ALL_APPS for scale in (1.0, 4.0))
     rows = []
     residences = {}
     for app in ALL_APPS:

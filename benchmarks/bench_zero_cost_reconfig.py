@@ -7,7 +7,8 @@ reconfiguration) and finds it improves performance by just ~10% gmean
 its hardware complexity.
 """
 
-from bench_common import ALL_APPS, REPRESENTATIVE, emit, experiment
+from bench_common import (ALL_APPS, REPRESENTATIVE, emit, experiment, point,
+                          prefetch)
 from repro.harness import format_table, gmean
 
 
@@ -15,7 +16,10 @@ def run_zero_cost():
     rows = []
     gains = []
     cases = [(app, REPRESENTATIVE[app]) for app in ALL_APPS]
-    cases.append(("spmm", "Gr"))  # the paper's extreme case
+    if "spmm" in ALL_APPS:
+        cases.append(("spmm", "Gr"))  # the paper's extreme case
+    prefetch(point(app, code, "fifer", zero_cost=zero_cost)
+             for app, code in cases for zero_cost in (False, True))
     for app, code in cases:
         base = experiment(app, code, "fifer").cycles
         ideal = experiment(app, code, "fifer", zero_cost=True).cycles

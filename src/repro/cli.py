@@ -29,8 +29,9 @@ import json
 import sys
 
 from repro.config import SystemConfig
-from repro.harness import (format_table, prepare_input, run_experiment,
-                           speedup_table)
+from repro.core import ENGINES
+from repro.harness import (SweepPoint, format_table, run_experiment,
+                           run_sweep, speedup_table)
 from repro.harness.report import bar_chart
 from repro.harness.run import APP_INPUTS, SYSTEMS
 from repro.stats.manifest import (build_manifest, load_manifests,
@@ -47,6 +48,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=None,
                         help="input scale factor (default: per-input)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--engine", choices=ENGINES, default="fast",
+                        help="simulation loop: fast (skips blocked spans, "
+                             "default) or naive (per-cycle reference)")
 
 
 def _check_input(app: str, code: str) -> None:
@@ -60,7 +64,7 @@ def cmd_run(args) -> int:
     _check_input(args.app, args.input)
     result = run_experiment(args.app, args.input, args.system,
                             variant=args.variant, scale=args.scale,
-                            seed=args.seed)
+                            seed=args.seed, engine=args.engine)
     print(f"{args.app}/{args.input} on {args.system} ({args.variant}): "
           f"{result.cycles:,.0f} cycles (verified against the reference)")
     raw = result.raw
@@ -84,11 +88,10 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     _check_input(args.app, args.input)
-    prepared = prepare_input(args.app, args.input, scale=args.scale,
-                             seed=args.seed)
-    results = {system: run_experiment(args.app, args.input, system,
-                                      prepared=prepared)
-               for system in SYSTEMS}
+    points = [SweepPoint(args.app, args.input, system, scale=args.scale,
+                         seed=args.seed, engine=args.engine)
+              for system in SYSTEMS]
+    results = dict(zip(SYSTEMS, run_sweep(points, workers=args.workers)))
     speedups = speedup_table(results)
     print(bar_chart(speedups,
                     title=f"{args.app}/{args.input}: speedup over the "
@@ -130,7 +133,7 @@ def cmd_trace(args) -> int:
 
     if args.format == "gantt":
         with ActivationTracer().attach(system) as tracer:
-            result = system.run()
+            result = system.run(engine=args.engine)
         print(f"{args.app}/{args.input} on Fifer: {result.cycles:,.0f} "
               f"cycles, {len(tracer.events)} activations\n")
         print(tracer.gantt(result.cycles, max_pes=args.pes))
@@ -154,11 +157,11 @@ def cmd_trace(args) -> int:
     try:
         if args.format == "jsonl":
             bus.subscribe(JsonlSink(out))
-            result = system.run()
+            result = system.run(engine=args.engine)
         else:  # chrome
             sink = bus.subscribe(RecordingSink(
                 kinds=("stage.activate", "reconfig.begin")))
-            result = system.run()
+            result = system.run(engine=args.engine)
             json.dump(chrome_trace(sink.events, result.cycles,
                                    samples=sampler.samples,
                                    process_name=f"{args.app}/{args.input}"),
@@ -179,7 +182,7 @@ def cmd_stats(args) -> int:
     _check_input(args.app, args.input)
     result = run_experiment(args.app, args.input, args.system,
                             variant=args.variant, scale=args.scale,
-                            seed=args.seed,
+                            seed=args.seed, engine=args.engine,
                             manifest_dir=args.manifest_dir)
     manifest = build_manifest(result)
     if args.json:
@@ -246,6 +249,9 @@ def main(argv=None) -> int:
 
     p_cmp = sub.add_parser("compare", help="all four systems on one input")
     _add_common(p_cmp)
+    p_cmp.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="run the four systems on a process pool "
+                            "(default: one worker per CPU)")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_inputs = sub.add_parser("inputs", help="list apps and inputs")

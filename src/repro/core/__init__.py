@@ -12,7 +12,8 @@ from repro.core.scheduler import make_scheduler, MostWorkScheduler, RoundRobinSc
 from repro.core.reconfig import ReconfigurationModel
 from repro.core.pe import ProcessingElement
 from repro.core.program import Program, PEProgram
-from repro.core.system import System, DeadlockError, SimulationResult
+from repro.core.system import (System, DeadlockError, SimulationResult,
+                               SimulationTimeout, ENGINES)
 
 __all__ = [
     "StageSpec", "StageContext", "StageInstance", "STOP_VALUE",
@@ -20,5 +21,6 @@ __all__ = [
     "make_scheduler", "MostWorkScheduler", "RoundRobinScheduler",
     "ReconfigurationModel", "ProcessingElement",
     "Program", "PEProgram",
-    "System", "DeadlockError", "SimulationResult",
+    "System", "DeadlockError", "SimulationResult", "SimulationTimeout",
+    "ENGINES",
 ]

@@ -82,6 +82,17 @@ class DRM:
         self.issue_width = issue_width
         # DRM spec names are unique per shard by construction.
         self.producer_key = spec.name
+        # Spec fields and queue objects hoisted out of the per-token
+        # paths (the spec is frozen and the queue set is fixed).
+        self._mode = spec.mode
+        self._width = spec.width
+        self._payload = spec.payload
+        self._route = spec.route
+        self._out_q = (out_queues[spec.out_queue]
+                       if spec.out_queue is not None else None)
+        self._target_queues = tuple(out_queues[name]
+                                    for name in self._targets())
+        self._inv_issue = 1.0 / issue_width
         # Scanning/strided-mode cursor (persists across quanta and
         # stage switches).
         self._scan_addr: Optional[int] = None
@@ -110,20 +121,24 @@ class DRM:
         divided by the outstanding-access window.
         """
         worst = 0.0
+        access = self.l1.access
         for addr in addrs:
-            worst = max(worst, self.l1.access(addr))
-            self.loads += 1
-        extra = max(0.0, worst - self.l1_latency) / self.max_outstanding
+            latency = access(addr)
+            if latency > worst:
+                worst = latency
+        self.loads += len(addrs)
+        over = worst - self.l1_latency
+        extra = over / self.max_outstanding if over > 0.0 else 0.0
         self.miss_stall_cycles += extra
-        return 1.0 / self.issue_width + extra
+        return self._inv_issue + extra
 
     def _step_scan(self) -> Optional[float]:
-        out = self.out_queues[self.spec.out_queue]
+        out = self._out_q
         if not out.can_enq(self.producer_key):
             return None
         cost = self._access_cost((self._scan_addr,))
         out.enq(self.memmap.read(self._scan_addr), producer=self.producer_key)
-        if self.spec.mode == "strided":
+        if self._mode == "strided":
             self._scan_addr += self._scan_stride
             self._scan_remaining -= 1
             if self._scan_remaining <= 0:
@@ -135,7 +150,7 @@ class DRM:
         return cost
 
     def _step_control(self, token) -> Optional[float]:
-        targets = [self.out_queues[name] for name in self._targets()]
+        targets = self._target_queues
         if not all(t.can_enq(self.producer_key, is_control=True)
                    for t in targets):
             return None
@@ -147,22 +162,45 @@ class DRM:
 
     def _step_deref(self, token) -> Optional[float]:
         value = token.value
-        if self.spec.width > 1 or self.spec.payload:
+        width = self._width
+        has_payload = self._payload
+        read = self.memmap.read
+        if width > 1 or has_payload:
             parts = tuple(value)
+            addrs = parts[:width]
+            payload = parts[width:] if has_payload else ()
+            # Unrolled for the common widths (1 and 2 cover every
+            # pipeline in the suite).
+            if width == 1:
+                loaded = (read(addrs[0]),)
+            elif width == 2:
+                loaded = (read(addrs[0]), read(addrs[1]))
+            else:
+                loaded = tuple([read(a) for a in addrs])
         else:
-            parts = (value,)
-        addrs = parts[:self.spec.width]
-        payload = parts[self.spec.width:] if self.spec.payload else ()
-        loaded = tuple(self.memmap.read(a) for a in addrs)
-        if self.spec.route is not None:
-            out_name = self.spec.route(loaded, payload)
+            addrs = (value,)
+            payload = ()
+            loaded = (read(value),)
+        route = self._route
+        if route is not None:
+            out = self.out_queues[route(loaded, payload)]
         else:
-            out_name = self.spec.out_queue
-        out = self.out_queues[out_name]
+            out = self._out_q
         if not out.can_enq(self.producer_key):
             return None
-        cost = self._access_cost(addrs)
-        if len(loaded) == 1 and not self.spec.payload:
+        # Inlined _access_cost (this is the DRM's per-token hot path).
+        worst = 0.0
+        access = self.l1.access
+        for addr in addrs:
+            latency = access(addr)
+            if latency > worst:
+                worst = latency
+        self.loads += len(addrs)
+        over = worst - self.l1_latency
+        extra = over / self.max_outstanding if over > 0.0 else 0.0
+        self.miss_stall_cycles += extra
+        cost = self._inv_issue + extra
+        if len(loaded) == 1 and not has_payload:
             result = loaded[0]
         else:
             result = loaded + payload
@@ -170,35 +208,78 @@ class DRM:
         out.enq(result, producer=self.producer_key)
         return cost
 
+    def can_progress(self) -> bool:
+        """Whether :meth:`run` would perform at least one step right now.
+
+        Side-effect free: replays ``run``'s first-step decision (scan
+        cursor, control broadcast, scan/strided setup, or a routed
+        dereference) against the current queue state without touching
+        caches or statistics. The fast engine's quiescence check uses
+        this to prove a quantum would be a no-op for this DRM.
+        """
+        if self._scan_addr is not None:
+            return self._out_q.can_enq(self.producer_key)
+        in_q = self.in_q
+        if not in_q._tokens:
+            return False
+        token = in_q._tokens[0]
+        if token.is_control:
+            return all(q.can_enq(self.producer_key, is_control=True)
+                       for q in self._target_queues)
+        if self._mode != "deref":
+            return True  # scan/strided cursor setup always costs one cycle
+        value = token.value
+        width = self._width
+        has_payload = self._payload
+        read = self.memmap.read
+        if width > 1 or has_payload:
+            parts = tuple(value)
+            payload = parts[width:] if has_payload else ()
+            if width == 1:
+                loaded = (read(parts[0]),)
+            elif width == 2:
+                loaded = (read(parts[0]), read(parts[1]))
+            else:
+                loaded = tuple([read(a) for a in parts[:width]])
+        else:
+            payload = ()
+            loaded = (read(value),)
+        route = self._route
+        if route is not None:
+            return self.out_queues[route(loaded, payload)].can_enq(
+                self.producer_key)
+        return self._out_q.can_enq(self.producer_key)
+
     def run(self, budget: float) -> float:
         """Advance the DRM for up to ``budget`` cycles; returns cycles used."""
         spent = 0.0
+        in_q = self.in_q
         while spent < budget:
             if self._scan_addr is not None:
                 cost = self._step_scan()
-            elif not self.in_q.can_deq():
+            elif not in_q._tokens:
                 break
             else:
-                token = self.in_q.peek()
+                token = in_q._tokens[0]
                 if token.is_control:
                     cost = self._step_control(token)
-                elif self.spec.mode == "scan":
+                elif self._mode == "deref":
+                    cost = self._step_deref(token)
+                elif self._mode == "scan":
                     start, end = token.value
-                    self.in_q.deq()
+                    in_q.deq()
                     self._scan_addr = start if start < end else None
                     self._scan_end = end
                     if start < end:
                         self._scan_elem_bytes = self.memmap.elem_bytes_at(start)
                     cost = 1.0
-                elif self.spec.mode == "strided":
+                else:  # strided
                     start, count, stride = token.value
-                    self.in_q.deq()
+                    in_q.deq()
                     self._scan_addr = start if count > 0 else None
                     self._scan_remaining = int(count)
                     self._scan_stride = int(stride)
                     cost = 1.0
-                else:
-                    cost = self._step_deref(token)
             if cost is None:  # blocked on a full output queue
                 if self.probe is not None and self.probe.bus.sinks:
                     self.probe.emit("drm.blocked", drm=self.spec.name,

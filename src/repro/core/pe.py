@@ -25,12 +25,13 @@ is scheduled (paper Sec. 5.4).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from repro.config import SystemConfig
 from repro.core.drm import DRM
 from repro.core.reconfig import ReconfigurationModel
-from repro.core.scheduler import make_scheduler
+from repro.core.scheduler import any_runnable, make_scheduler
 from repro.core.stage import StageInstance
 from repro.memory.cache import Cache
 from repro.queues.queue import Queue
@@ -73,6 +74,11 @@ class ProcessingElement:
         self._debt = 0.0
         self._last_activation: Optional[float] = None
         self._stage_inputs: dict[str, list[Queue]] = {}
+        # Memoized name -> Queue lookups. The queue set is fixed for the
+        # lifetime of a System, so the first resolve_queue() answer per
+        # name stays valid; the hot paths then pay one dict probe
+        # instead of a call into the system.
+        self._qcache: dict[str, Queue] = {}
         # Optional telemetry Probe (repro.stats.telemetry); None means
         # instrumentation is disabled and costs one attribute check.
         self.probe = None
@@ -104,13 +110,24 @@ class ProcessingElement:
 
     # -- scheduler support ---------------------------------------------------
 
+    def _queue(self, name: str) -> Queue:
+        queue = self._qcache.get(name)
+        if queue is None:
+            queue = self._qcache[name] = self.resolve_queue(name)
+        return queue
+
     def _satisfiable(self, stage: StageInstance, request: tuple) -> bool:
         kind = request[0]
-        if kind in ("deq", "peek"):
-            return self.resolve_queue(request[1]).can_deq()
+        if kind == "deq" or kind == "peek":
+            queue = self._qcache.get(request[1])
+            if queue is None:
+                queue = self._queue(request[1])
+            return bool(queue._tokens)  # == can_deq(), sans the call
         if kind == "enq":
-            return self.resolve_queue(request[1]).can_enq(
-                stage.ctx.producer_key, request[3])
+            queue = self._qcache.get(request[1])
+            if queue is None:
+                queue = self._queue(request[1])
+            return queue.can_enq(stage.ctx.producer_key, request[3])
         return True
 
     def stage_runnable(self, stage: StageInstance) -> bool:
@@ -128,51 +145,114 @@ class ProcessingElement:
     def all_done(self) -> bool:
         return all(stage.done for stage in self.stages)
 
-    # -- execution -----------------------------------------------------------
+    def can_progress(self) -> bool:
+        """Whether the next quantum could advance anything besides stall
+        counters: a reconfiguration in flight, a runnable stage, or a DRM
+        with a performable step. Conservative — it may return ``True``
+        for a PE that then blocks mid-step, but it must never return
+        ``False`` when a token could move. The fast engine's quiescence
+        check (:meth:`System._fast_forward`) relies on this to prove
+        that future quanta are identical."""
+        if self._reconfig_remaining > _EPS:
+            return True
+        if any_runnable(self):
+            return True
+        return any(drm.can_progress() for drm in self.drms)
 
-    def _perform(self, stage: StageInstance, request: tuple):
-        """Satisfy one request; returns (result, cycle_cost)."""
+    def blocked_reason(self, stage: StageInstance) -> str:
+        """Human-readable account of why ``stage`` is (not) advancing;
+        used by deadlock/timeout reports."""
+        if stage.done:
+            return "done"
+        if not stage.started:
+            return "not started (runnable)"
+        request = stage.pending
+        if request is None:
+            return "no pending request"
         kind = request[0]
-        if kind == "deq":
-            token = self.resolve_queue(request[1]).deq()
-            cost = stage.io_cost(1, 0, token.is_control)
-            self.counters.add("issued", cost)
-            self.counters.add("tokens")
-            self.counters.add("fabric_ops", stage.mapping.n_compute_ops)
-            return token, cost
-        if kind == "try_deq":
+        if kind in ("deq", "peek"):
             queue = self.resolve_queue(request[1])
             if not queue.can_deq():
-                return None, 0.0
+                return f"blocked on {kind} {request[1]!r} (empty)"
+        elif kind == "enq":
+            queue = self.resolve_queue(request[1])
+            if not queue.can_enq(stage.ctx.producer_key, request[3]):
+                words = 1 if request[3] else queue.entry_words
+                cause = ("out of credits" if queue.free_words >= words
+                         else "full")
+                return (f"blocked on enq {request[1]!r} ({cause}; "
+                        f"{queue.describe()})")
+        return f"runnable ({kind} {request[1]!r})"
+
+    # -- execution -----------------------------------------------------------
+
+    def _try_perform(self, stage: StageInstance, request: tuple):
+        """Check satisfiability and satisfy one request in one dispatch.
+
+        Returns ``(result, cycle_cost)``, or ``None`` when the request
+        is blocked (empty/full queue) — the fused form of
+        :meth:`_satisfiable` + perform that the execute loop uses to
+        avoid dispatching on the request twice. Counter updates are
+        open-coded dict stores (this is the simulator's hottest path).
+        """
+        kind = request[0]
+        counters = self.counters
+        if kind == "deq":
+            queue = self._qcache.get(request[1])
+            if queue is None:
+                queue = self._queue(request[1])
+            if not queue._tokens:
+                return None
             token = queue.deq()
             cost = stage.io_cost(1, 0, token.is_control)
-            self.counters.add("issued", cost)
-            self.counters.add("tokens")
-            self.counters.add("fabric_ops", stage.mapping.n_compute_ops)
+            counters["issued"] = counters.get("issued", 0.0) + cost
+            counters["tokens"] = counters.get("tokens", 0.0) + 1.0
+            counters["fabric_ops"] = (counters.get("fabric_ops", 0.0)
+                                      + stage.mapping.n_compute_ops)
             return token, cost
-        if kind == "peek":
-            return self.resolve_queue(request[1]).peek(), 0.0
         if kind == "enq":
             _, name, value, is_control = request
-            self.resolve_queue(name).enq(
-                value, is_control=is_control, producer=stage.ctx.producer_key)
+            queue = self._qcache.get(name)
+            if queue is None:
+                queue = self._queue(name)
+            producer = stage.ctx.producer_key
+            if not queue.can_enq(producer, is_control):
+                return None
+            queue.enq(value, is_control=is_control, producer=producer)
             cost = stage.io_cost(0, 1, is_control)
-            self.counters.add("issued", cost)
+            counters["issued"] = counters.get("issued", 0.0) + cost
             return None, cost
         if kind == "load":
             latency = self.l1.access(request[1])
-            stall = max(0.0, latency - self.l1.config.latency)
-            if stall:
-                self.counters.add("stall_mem", stall)
-            return None, stall
+            stall = latency - self.l1._latency
+            if stall > 0.0:
+                counters["stall_mem"] = counters.get("stall_mem", 0.0) + stall
+                return None, stall
+            return None, 0.0
         if kind == "store":
             # Stores retire through a write buffer and do not stall the
             # datapath (no consumer depends on them); the access still
             # updates cache state and traffic counts.
             self.l1.access(request[1], write=True)
             return None, 0.0
+        if kind == "try_deq":
+            queue = self._queue(request[1])
+            if not queue._tokens:
+                return None, 0.0
+            token = queue.deq()
+            cost = stage.io_cost(1, 0, token.is_control)
+            counters["issued"] = counters.get("issued", 0.0) + cost
+            counters["tokens"] = counters.get("tokens", 0.0) + 1.0
+            counters["fabric_ops"] = (counters.get("fabric_ops", 0.0)
+                                      + stage.mapping.n_compute_ops)
+            return token, cost
+        if kind == "peek":
+            queue = self._queue(request[1])
+            if not queue._tokens:
+                return None
+            return queue.peek(), 0.0
         if kind == "cycles":
-            self.counters.add("issued", request[1])
+            counters["issued"] = counters.get("issued", 0.0) + request[1]
             return None, float(request[1])
         raise ValueError(f"stage {stage.name!r}: unknown request {request!r}")
 
@@ -182,18 +262,28 @@ class ProcessingElement:
         zero_streak = 0
         if not stage.started:
             stage.first_request()
+        try_perform = self._try_perform
+        send = stage.gen.send
         while spent < budget and not stage.done:
             request = stage.pending
-            if request is None or not self._satisfiable(stage, request):
+            if request is None:
                 break
-            result, cost = self._perform(stage, request)
+            outcome = try_perform(stage, request)
+            if outcome is None:  # blocked
+                break
+            result, cost = outcome
             spent += cost
             zero_streak = 0 if cost > 0 else zero_streak + 1
             if zero_streak > 1_000_000:
                 raise StageLivelockError(
                     f"stage {stage.name!r} on PE {self.pe_id} issued 1M "
                     f"zero-cost requests")
-            stage.advance(result)
+            # Inlined StageInstance.advance (stage.started holds here).
+            try:
+                stage.pending = send(result)
+            except StopIteration:
+                stage.pending = None
+                stage.done = True
         return spent
 
     def _classify_blocked(self) -> str:
@@ -213,7 +303,7 @@ class ProcessingElement:
                 return "stall_queue_full"
             if kind in ("deq", "peek") and not self._satisfiable(
                     stage, stage.pending):
-                if not self.resolve_queue(stage.pending[1]).control_only:
+                if not self._queue(stage.pending[1]).control_only:
                     data_starved = True
         return "stall_queue_empty" if data_starved else "idle"
 
@@ -252,7 +342,7 @@ class ProcessingElement:
                             stage=self.current.name,
                             reconfig_cycles=self._reconfig_period)
 
-    def run_quantum(self, budget: float) -> None:
+    def run_quantum(self, budget: float, fast: bool = False) -> None:
         """Advance this PE (and its DRMs) by ``budget`` cycles.
 
         DRMs are independent FSMs that run concurrently with the fabric;
@@ -260,6 +350,14 @@ class ProcessingElement:
         quantum approximates that concurrency (tokens the fabric
         produces this quantum can cross a DRM within the same quantum,
         halving the control-propagation latency of the quantum model).
+
+        With ``fast=True``, a blocked PE charges the rest of the
+        quantum to its stall bucket in one step instead of per-cycle.
+        This is exact: queues and caches only change at quantum
+        boundaries (DRM slices bracket the fabric slice), so once
+        ``_pick_next`` returns ``None`` nothing can unblock the PE
+        before the quantum ends, and the per-cycle loop would tick the
+        same bucket every remaining cycle. See docs/performance.md.
         """
         drm_used = [drm.run(budget) for drm in self.drms]
         remaining = float(budget) - self._debt
@@ -288,6 +386,9 @@ class ProcessingElement:
             if stage is None or not self.stage_runnable(stage):
                 nxt = self._pick_next(stage)
                 if nxt is None:
+                    if fast:
+                        remaining = self._stall_fast(remaining)
+                        continue
                     bucket = self._classify_blocked()
                     self.counters.add(bucket, 1.0)
                     if self.probe is not None and self.probe.bus.sinks:
@@ -314,6 +415,56 @@ class ProcessingElement:
         for drm, used in zip(self.drms, drm_used):
             if used < budget:
                 drm.run(budget - used)
+
+    def _stall_fast(self, remaining: float) -> float:
+        """Charge the rest of a quantum's blocked cycles in one step.
+
+        Mirrors the naive per-cycle stall loop exactly: the naive loop
+        subtracts 1.0 while ``remaining > _EPS``, so it takes
+        ``ceil(remaining - _EPS)`` steps and may leave a fractional
+        debt. The bulk add is only taken when both ``now`` and the
+        bucket are integral (then ``x + k`` equals k unit increments
+        bit-for-bit); otherwise a tight replay loop preserves the exact
+        rounding of repeated ``+= 1.0``.
+        """
+        bucket = self._classify_blocked()
+        steps = math.ceil(remaining - _EPS)
+        if self.probe is not None and self.probe.bus.sinks:
+            # One aggregated event for the whole blocked span (the
+            # naive engine emits one event per cycle).
+            self.probe.emit("pe.stall", cycle=self.now, pe=self.pe_id,
+                            bucket=bucket, cycles=float(steps))
+        if self.now.is_integer() and self.counters[bucket].is_integer():
+            self.counters.add(bucket, float(steps))
+            self.now += float(steps)
+        else:
+            add = self.counters.add
+            for _ in range(steps):
+                add(bucket, 1.0)
+                self.now += 1.0
+        return remaining - float(steps)
+
+    def fast_forward_quanta(self, n: int, quantum: float) -> None:
+        """Advance ``n`` quanta while the whole system is quiescent.
+
+        Only called by :meth:`System._fast_forward` after proving no PE
+        :meth:`can_progress`; each quantum would charge the full budget
+        to one unchanging stall bucket, so the accounting collapses to
+        a single bulk add when everything involved is integral.
+        """
+        if n <= 0:
+            return
+        bucket = ("idle" if self.all_done() else self._classify_blocked())
+        total = float(n) * float(quantum)
+        if (self._debt == 0.0 and float(quantum).is_integer()
+                and self.now.is_integer()
+                and self.counters[bucket].is_integer()
+                and total.is_integer()):
+            self.counters.add(bucket, total)
+            self.now += total
+        else:
+            for _ in range(n):
+                self.run_quantum(quantum, fast=True)
 
     def _pick_next(self, current: Optional[StageInstance]):
         if not self.time_multiplex:

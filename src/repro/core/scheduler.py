@@ -53,6 +53,18 @@ class RoundRobinScheduler:
         return None
 
 
+def any_runnable(pe) -> bool:
+    """Whether any stage on ``pe`` could be picked right now.
+
+    Policy-independent: every policy picks *some* stage iff at least
+    one is runnable, so the fast engine's quiescence check can use this
+    without consulting (or perturbing) the policy's internal state —
+    ``RoundRobinScheduler`` only moves its cursor when a stage is
+    actually returned, and this helper never returns one.
+    """
+    return any(pe.stage_runnable(stage) for stage in pe.stages)
+
+
 _POLICIES = {
     MostWorkScheduler.name: MostWorkScheduler,
     RoundRobinScheduler.name: RoundRobinScheduler,

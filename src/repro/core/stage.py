@@ -133,16 +133,20 @@ class StageInstance:
 
     def io_cost(self, n_deq: int, n_enq: int, is_control: bool) -> float:
         """Charge queue I/O and return the marginal cycle cost."""
+        wd = self.work_deq
+        we = self.work_enq
         if is_control:
             # Control values are handled one per cycle (Sec. 5.6).
-            top = max(self.work_deq, self.work_enq) + 1.0
+            top = (wd if wd >= we else we) + 1.0
             self.work_deq = self.work_enq = top
             return 1.0
-        before = max(self.work_deq, self.work_enq)
-        r = self.replication
-        self.work_deq += n_deq / r
-        self.work_enq += n_enq / r
-        return max(self.work_deq, self.work_enq) - before
+        before = wd if wd >= we else we
+        r = self.mapping.replication
+        wd += n_deq / r
+        we += n_enq / r
+        self.work_deq = wd
+        self.work_enq = we
+        return (wd if wd >= we else we) - before
 
     def advance(self, result: Any) -> Optional[tuple]:
         """Resume the coroutine with ``result``; returns the next request

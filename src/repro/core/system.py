@@ -10,6 +10,7 @@ with all queue and cache state globally visible at quantum boundaries.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -26,6 +27,13 @@ from repro.queues.queue import Queue
 from repro.queues.queue_memory import QueueMemory
 from repro.stats.counters import Counters
 from repro.stats.cpi_stack import cpi_stack, merge_stacks
+
+
+#: Valid ``System.run(engine=...)`` values. ``fast`` skips blocked and
+#: quiescent spans in bulk (cycle- and counter-exact vs ``naive``, see
+#: docs/performance.md); ``naive`` is the original per-cycle reference
+#: loop kept as the differential-testing oracle.
+ENGINES = ("fast", "naive")
 
 
 class DeadlockError(Exception):
@@ -50,6 +58,7 @@ class SimulationResult:
     mem_stats: dict
     result: Any
     mappings: dict[str, Mapping] = field(default_factory=dict)
+    engine: str = "fast"
 
     @property
     def counters(self) -> Counters:
@@ -210,32 +219,112 @@ class System:
                      for pe in self.pes)
         return tokens, finished, issued
 
-    def _deadlock_report(self) -> str:
-        lines = [f"deadlock in {self.program.name!r} ({self.mode}) at cycle "
-                 f"{self.cycle:.0f}:"]
+    def _state_report(self) -> str:
+        """Per-PE resident stage + blocked reasons + queue occupancies,
+        appended to deadlock/timeout exception messages."""
+        lines = []
         for pe in self.pes:
+            lines.append(f"  PE{pe.pe_id} resident={pe.state}")
             for stage in pe.stages:
-                state = ("done" if stage.done else
-                         f"pending={stage.pending!r}")
-                lines.append(f"  PE{pe.pe_id} {stage.name}: {state}")
-        occupied = {name: len(q) for name, q in self._queues.items() if len(q)}
-        lines.append(f"  non-empty queues: {occupied}")
+                lines.append(f"    {stage.name}: {pe.blocked_reason(stage)}")
+        occupied = [f"    {name}: {queue.describe()}"
+                    for name, queue in sorted(self._queues.items())
+                    if len(queue)]
+        lines.append("  non-empty queues:")
+        lines.extend(occupied if occupied else ["    (none)"])
         return "\n".join(lines)
 
-    def run(self, max_cycles: Optional[float] = None) -> SimulationResult:
-        """Run the program to completion and return the results."""
+    def _deadlock_report(self) -> str:
+        return (f"deadlock in {self.program.name!r} ({self.mode}) at cycle "
+                f"{self.cycle:.0f}: no progress for "
+                f"{self.config.deadlock_quanta} quanta\n"
+                + self._state_report())
+
+    def _timeout_report(self, max_cycles: float) -> str:
+        return (f"{self.program.name!r} exceeded {max_cycles} cycles\n"
+                + self._state_report())
+
+    def _can_fast_forward(self) -> bool:
+        """Whether the fast engine may jump over the remaining quanta.
+
+        Requires that nothing outside the PEs can inject work (no
+        ``control_poll``), that quiescence probing cannot emit events a
+        sink would record (``can_enq`` publishes ``queue.credit_stall``
+        when sinks are attached), and that no PE or DRM can move a
+        token. Under those conditions every future quantum only adds
+        stall cycles, so the run can only end in deadlock or timeout.
+        """
+        if self.program.control_poll is not None:
+            return False
+        if self.telemetry is not None and self.telemetry.sinks:
+            return False
+        return not any(pe.can_progress() for pe in self.pes)
+
+    def _fast_forward(self, quantum: float, max_cycles: Optional[float],
+                      stuck_quanta: int) -> None:
+        """Jump a quiescent system to its deadlock/timeout horizon.
+
+        Replicates the naive loop's raise ordering exactly: the naive
+        loop checks timeout at the top of an iteration and deadlock
+        after running the quantum, so from here deadlock fires after
+        ``deadlock_quanta - stuck_quanta`` more quanta and timeout
+        after ``ceil((max_cycles - cycle) / quantum)`` quanta have run
+        — whichever horizon is closer wins, deadlock on ties. Always
+        raises; never returns.
+        """
+        to_deadlock = self.config.deadlock_quanta - stuck_quanta
+        to_timeout = None
+        if max_cycles is not None:
+            to_timeout = max(0, math.ceil((max_cycles - self.cycle) / quantum))
+        raise_deadlock = to_timeout is None or to_deadlock <= to_timeout
+        quanta = to_deadlock if raise_deadlock else to_timeout
+        if self.telemetry is not None and self.telemetry.samplers:
+            # Keep sampled time series identical: tick every boundary.
+            for _ in range(quanta):
+                self.telemetry.now = self.cycle
+                self.memory.begin_quantum(quantum)
+                for pe in self.pes:
+                    pe.run_quantum(quantum, fast=True)
+                self.cycle += quantum
+                self.telemetry.on_quantum(self)
+        else:
+            # No observer: collapse all quanta into one bulk charge per
+            # PE. No memory access can occur (nothing can progress), so
+            # skipping begin_quantum's bandwidth reset changes nothing.
+            for pe in self.pes:
+                pe.fast_forward_quanta(quanta, quantum)
+            self.cycle += quanta * quantum
+            if self.telemetry is not None:
+                self.telemetry.now = self.cycle
+        if raise_deadlock:
+            raise DeadlockError(self._deadlock_report())
+        raise SimulationTimeout(self._timeout_report(max_cycles))
+
+    def run(self, max_cycles: Optional[float] = None,
+            engine: str = "fast") -> SimulationResult:
+        """Run the program to completion and return the results.
+
+        ``engine`` selects the simulation loop: ``"fast"`` (default)
+        bulk-charges blocked spans and jumps quiescent systems to their
+        deadlock/timeout horizon; ``"naive"`` ticks every cycle. Both
+        produce identical cycle counts, counters, CPI stacks, sampled
+        time series, and results (tests/test_engine_equivalence.py).
+        """
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}")
+        fast = engine == "fast"
         quantum = self.config.quantum
         stuck_quanta = 0
         last_fingerprint = None
         while not self.done():
             if max_cycles is not None and self.cycle >= max_cycles:
-                raise SimulationTimeout(
-                    f"{self.program.name!r} exceeded {max_cycles} cycles")
+                raise SimulationTimeout(self._timeout_report(max_cycles))
             if self.telemetry is not None:
                 self.telemetry.now = self.cycle
             self.memory.begin_quantum(quantum)
             for pe in self.pes:
-                pe.run_quantum(quantum)
+                pe.run_quantum(quantum, fast=fast)
             if self.program.control_poll is not None:
                 self.program.control_poll(self)
             self.cycle += quantum
@@ -246,6 +335,8 @@ class System:
                 stuck_quanta += 1
                 if stuck_quanta >= self.config.deadlock_quanta:
                     raise DeadlockError(self._deadlock_report())
+                if fast and self._can_fast_forward():
+                    self._fast_forward(quantum, max_cycles, stuck_quanta)
             else:
                 stuck_quanta = 0
                 last_fingerprint = fingerprint
@@ -264,4 +355,5 @@ class System:
                        "bytes": self.memory.bytes_transferred},
             result=self.program.result(),
             mappings=self.mappings,
+            engine=engine,
         )

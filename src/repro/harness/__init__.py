@@ -5,9 +5,11 @@ from repro.harness.run import (ExperimentResult, GRAPH_APPS, APP_INPUTS,
                                SYSTEMS, prepare_input, run_experiment,
                                speedup_table)
 from repro.harness.format import format_table, gmean
+from repro.harness.sweep import SweepPoint, merge_sweep_manifests, run_sweep
 
 __all__ = [
     "ExperimentResult", "GRAPH_APPS", "APP_INPUTS", "SYSTEMS",
     "prepare_input", "run_experiment", "speedup_table",
     "format_table", "gmean",
+    "SweepPoint", "merge_sweep_manifests", "run_sweep",
 ]

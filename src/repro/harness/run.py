@@ -96,6 +96,7 @@ class ExperimentResult:
     scale: Optional[float] = None
     seed: int = 1
     wall_time_s: float = 0.0
+    engine: str = "fast"
 
     @property
     def label(self) -> str:
@@ -219,7 +220,8 @@ def run_experiment(app: str, input_code: str, system: str,
                    max_cycles: float = 2e9,
                    check: bool = True,
                    telemetry=None,
-                   manifest_dir=None) -> ExperimentResult:
+                   manifest_dir=None,
+                   engine: str = "fast") -> ExperimentResult:
     """Run one experiment; see module docstring for the system names.
 
     ``telemetry`` is an optional :class:`repro.stats.telemetry.EventBus`
@@ -228,9 +230,14 @@ def run_experiment(app: str, input_code: str, system: str,
     ``manifest_dir`` set, a schema-versioned JSON run manifest (config,
     seed, cycles, CPI stack, cache/memory stats, energy, wall time) is
     written there; ``python -m repro report DIR`` tabulates them.
+    ``engine`` selects the CGRA simulation loop (``fast`` or ``naive``;
+    see :data:`repro.core.ENGINES`); the analytic OOO model ignores it.
     """
+    from repro.core import ENGINES
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if scale is None and prepared is None:
         scale = default_scale(app, input_code)
     if prepared is None:
@@ -248,7 +255,8 @@ def run_experiment(app: str, input_code: str, system: str,
         program, _workload = _build_cgra_program(
             prepared, sys_config, system, variant)
         raw = System(sys_config, program, mode=system,
-                     telemetry=telemetry).run(max_cycles=max_cycles)
+                     telemetry=telemetry).run(max_cycles=max_cycles,
+                                              engine=engine)
         energy = energy_model.cgra_energy(raw).as_dict()
         result = raw.result
     wall_time_s = time.perf_counter() - t_start
@@ -260,7 +268,7 @@ def run_experiment(app: str, input_code: str, system: str,
     experiment = ExperimentResult(app, input_code, system, variant,
                                   float(raw.cycles), correct, energy, raw,
                                   scale=scale, seed=seed,
-                                  wall_time_s=wall_time_s)
+                                  wall_time_s=wall_time_s, engine=engine)
     if manifest_dir is not None:
         from repro.stats.manifest import write_manifest
         write_manifest(experiment.to_manifest(), manifest_dir)

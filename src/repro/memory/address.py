@@ -78,18 +78,24 @@ class ArrayRef:
     region: Region
     elem_bytes: int
 
+    def __post_init__(self):
+        # Cached for the hot addr() path (frozen dataclass, hence the
+        # object.__setattr__; not fields, so eq/hash are unchanged).
+        object.__setattr__(self, "_base", self.region.base)
+        object.__setattr__(self, "_n", self.region.size // self.elem_bytes)
+
     @property
     def base(self) -> int:
-        return self.region.base
+        return self._base
 
     @property
     def n_elems(self) -> int:
-        return self.region.size // self.elem_bytes
+        return self._n
 
     def addr(self, index: int) -> int:
         """Byte address of element ``index`` (bounds-checked)."""
-        if not 0 <= index < self.n_elems:
-            raise IndexError(
-                f"index {index} out of range for {self.region.name!r} "
-                f"({self.n_elems} elements)")
-        return self.region.base + index * self.elem_bytes
+        if 0 <= index < self._n:
+            return self._base + index * self.elem_bytes
+        raise IndexError(
+            f"index {index} out of range for {self.region.name!r} "
+            f"({self._n} elements)")

@@ -30,6 +30,8 @@ class MainMemory:
         self.writes = 0
         self._quantum_bytes = 0.0
         self._quantum_budget = float("inf")
+        self._latency = float(config.latency)
+        self._bw = config.bandwidth_bytes_per_cycle
 
     def begin_quantum(self, cycles: int) -> None:
         """Reset the bandwidth budget for a new simulation quantum."""
@@ -42,11 +44,11 @@ class MainMemory:
         else:
             self.reads += 1
         self._quantum_bytes += self.line_bytes
-        latency = float(self.config.latency)
+        latency = self._latency
         over = self._quantum_bytes - self._quantum_budget
         if over > 0:
             # Queueing penalty: excess traffic drains at the peak rate.
-            latency += over / self.config.bandwidth_bytes_per_cycle
+            latency += over / self._bw
         if self.probe is not None and self.probe.bus.sinks:
             now = self.probe.bus.now
             self.probe.emit("mem.issue", cycle=now, addr=addr, write=write)
@@ -84,6 +86,8 @@ class Cache:
                 f"cache {name!r}: set count {n_sets} is not a positive power of two")
         self._set_mask = n_sets - 1
         self._line_shift = config.line_bytes.bit_length() - 1
+        self._latency = float(config.latency)
+        self._ways = config.ways
         # One ordered dict per set: line_addr -> dirty flag. Python dicts
         # preserve insertion order, which we exploit for LRU.
         self._sets: list[dict[int, bool]] = [dict() for _ in range(n_sets)]
@@ -101,18 +105,19 @@ class Cache:
 
     def access(self, addr: int, write: bool = False) -> float:
         """Access one address; returns total latency in cycles."""
-        line, cache_set = self._locate(addr)
+        line = addr >> self._line_shift
+        cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
             self.hits += 1
             dirty = cache_set.pop(line) or write
             cache_set[line] = dirty  # move to MRU position
-            return float(self.config.latency)
+            return self._latency
         self.misses += 1
         if self.probe is not None and self.probe.bus.sinks:
             self.probe.emit("cache.miss", level=self.name, addr=addr,
                             write=write)
         latency = self.config.latency + self.parent.access(addr, write=False)
-        if len(cache_set) >= self.config.ways:
+        if len(cache_set) >= self._ways:
             victim, victim_dirty = next(iter(cache_set.items()))
             del cache_set[victim]
             if victim_dirty:

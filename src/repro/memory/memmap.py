@@ -25,6 +25,11 @@ class MemoryMap:
     def __init__(self):
         self._bases: list[int] = []
         self._entries: list[tuple[ArrayRef, Any]] = []
+        # One-entry locality cache: (base, end, elem_bytes, ref, array).
+        # Streams of addresses hit the same region almost always, so the
+        # common case is two comparisons instead of a bisect. Regions
+        # are never unregistered, so a cached entry cannot go stale.
+        self._last = (1, 0, 1, None, None)
 
     def register(self, ref: ArrayRef, array) -> None:
         """Bind ``array`` (numpy or any indexable) to region ``ref``."""
@@ -35,19 +40,33 @@ class MemoryMap:
         self._entries.insert(index, (ref, array))
 
     def _resolve(self, addr: int) -> tuple[ArrayRef, Any, int]:
+        base, end, ebytes, ref, array = self._last
+        if base <= addr < end:
+            return ref, array, (addr - base) // ebytes
         index = bisect.bisect_right(self._bases, addr) - 1
         if index >= 0:
             ref, array = self._entries[index]
-            offset = addr - ref.base
-            if offset < ref.region.size:
-                return ref, array, offset // ref.elem_bytes
+            base = ref.region.base
+            offset = addr - base
+            size = ref.region.size
+            if offset < size:
+                ebytes = ref.elem_bytes
+                self._last = (base, base + size, ebytes, ref, array)
+                return ref, array, offset // ebytes
         raise MemoryMapError(f"address {addr:#x} is unmapped")
 
     def read(self, addr: int):
+        base, end, ebytes, ref, array = self._last
+        if base <= addr < end:
+            return array[(addr - base) // ebytes]
         ref, array, elem = self._resolve(addr)
         return array[elem]
 
     def write(self, addr: int, value) -> None:
+        base, end, ebytes, ref, array = self._last
+        if base <= addr < end:
+            array[(addr - base) // ebytes] = value
+            return
         ref, array, elem = self._resolve(addr)
         array[elem] = value
 

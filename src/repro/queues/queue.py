@@ -14,7 +14,6 @@ when it is dequeued.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Sequence
 
 
@@ -26,16 +25,33 @@ class QueueEmptyError(Exception):
     """Dequeue attempted on an empty queue."""
 
 
-@dataclass(frozen=True)
 class Token:
     """One queue entry: a value plus the control bit."""
 
-    value: Any
-    is_control: bool = False
-    producer: Optional[Hashable] = None
+    __slots__ = ("value", "is_control", "producer")
+
+    def __init__(self, value: Any, is_control: bool = False,
+                 producer: Optional[Hashable] = None):
+        self.value = value
+        self.is_control = is_control
+        self.producer = producer
 
     def words(self, entry_words: int) -> int:
         return 1 if self.is_control else entry_words
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.value == other.value
+                and self.is_control == other.is_control
+                and self.producer == other.producer)
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.is_control, self.producer))
+
+    def __repr__(self) -> str:
+        return (f"Token(value={self.value!r}, is_control={self.is_control!r}, "
+                f"producer={self.producer!r})")
 
 
 class Queue:
@@ -92,35 +108,57 @@ class Queue:
     def is_empty(self) -> bool:
         return not self._tokens
 
+    def describe(self) -> str:
+        """One-line occupancy summary for deadlock/timeout reports."""
+        text = (f"{len(self._tokens)} tokens, "
+                f"{self._occupancy_words}/{self.capacity_words} words")
+        if self._credits is not None:
+            credits = ", ".join(f"{p}={c}"
+                                for p, c in sorted(self._credits.items(),
+                                                   key=lambda kv: str(kv[0])))
+            text += f", credits: {credits}"
+        return text
+
     # -- enqueue side ------------------------------------------------------
 
     def can_enq(self, producer: Optional[Hashable] = None,
                 is_control: bool = False) -> bool:
         words = 1 if is_control else self.entry_words
-        if self._credits is not None:
-            if producer not in self._credits:
-                raise KeyError(
-                    f"queue {self.name!r}: unknown producer {producer!r}")
-            ok = self._credits[producer] >= words
-            if (not ok and self.probe is not None and self.probe.bus.sinks
-                    and self.free_words >= words):
-                # Space exists but this producer's credit share is
-                # exhausted: the Sec. 5.6 flow-control stall.
-                self.probe.emit("queue.credit_stall", queue=self.name,
-                                producer=str(producer))
-            return ok
-        return self.free_words >= words
+        credits = self._credits
+        if credits is None:
+            return self.capacity_words - self._occupancy_words >= words
+        if producer not in credits:
+            raise KeyError(
+                f"queue {self.name!r}: unknown producer {producer!r}")
+        ok = credits[producer] >= words
+        if (not ok and self.probe is not None and self.probe.bus.sinks
+                and self.free_words >= words):
+            # Space exists but this producer's credit share is
+            # exhausted: the Sec. 5.6 flow-control stall.
+            self.probe.emit("queue.credit_stall", queue=self.name,
+                            producer=str(producer))
+        return ok
 
     def enq(self, value: Any, is_control: bool = False,
             producer: Optional[Hashable] = None) -> None:
-        if not self.can_enq(producer, is_control):
-            raise QueueFullError(
-                f"queue {self.name!r} full (producer {producer!r})")
-        token = Token(value, is_control, producer)
-        words = token.words(self.entry_words)
-        if self._credits is not None:
-            self._credits[producer] -= words
-        self._tokens.append(token)
+        words = 1 if is_control else self.entry_words
+        credits = self._credits
+        if credits is None:
+            if self.capacity_words - self._occupancy_words < words:
+                raise QueueFullError(
+                    f"queue {self.name!r} full (producer {producer!r})")
+        else:
+            if producer not in credits:
+                raise KeyError(
+                    f"queue {self.name!r}: unknown producer {producer!r}")
+            if credits[producer] < words:
+                # Route through can_enq so an unchecked caller still gets
+                # the credit_stall probe before the raise.
+                self.can_enq(producer, is_control)
+                raise QueueFullError(
+                    f"queue {self.name!r} full (producer {producer!r})")
+            credits[producer] -= words
+        self._tokens.append(Token(value, is_control, producer))
         self._occupancy_words += words
         self.total_enqueued += 1
         if self.probe is not None and self.probe.bus.sinks:
@@ -142,7 +180,7 @@ class Queue:
         if not self._tokens:
             raise QueueEmptyError(f"queue {self.name!r} empty")
         token = self._tokens.popleft()
-        words = token.words(self.entry_words)
+        words = 1 if token.is_control else self.entry_words
         self._occupancy_words -= words
         if self._credits is not None:
             self._credits[token.producer] += words

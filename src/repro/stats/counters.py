@@ -2,50 +2,47 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
 
+class Counters(dict):
+    """Named floating-point counters (missing names read as zero).
 
-class Counters:
-    """Named floating-point counters (missing names read as zero)."""
+    Subclasses ``dict`` so the hot-path ``add`` is a single hashed
+    store; ``__missing__`` keeps absent names reading as zero without
+    inserting them.
+    """
 
-    def __init__(self):
-        self._values: defaultdict[str, float] = defaultdict(float)
+    __slots__ = ()
+
+    def __missing__(self, name: str) -> float:
+        return 0.0
 
     def add(self, name: str, amount: float = 1.0) -> None:
-        self._values[name] += amount
-
-    def __getitem__(self, name: str) -> float:
-        return self._values.get(name, 0.0)
-
-    def __setitem__(self, name: str, value: float) -> None:
-        self._values[name] = value
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._values
+        self[name] = self.get(name, 0.0) + amount
 
     def merge(self, other: "Counters") -> None:
-        for name, value in other._values.items():
-            self._values[name] += value
+        get = self.get
+        for name, value in dict.items(other):
+            self[name] = get(name, 0.0) + value
 
     def total(self) -> float:
         """Sum of all counter values."""
-        return sum(self._values.values())
+        return sum(self.values())
 
     def items(self):
         """``(name, value)`` pairs in sorted-name order (deterministic
         for exporters); missing names still read as zero elsewhere."""
-        return sorted(self._values.items())
+        return sorted(dict.items(self))
 
     def scaled(self, factor: float) -> "Counters":
         """A new ``Counters`` with every value multiplied by ``factor``."""
         scaled = Counters()
-        for name, value in self._values.items():
-            scaled._values[name] = value * factor
+        for name, value in dict.items(self):
+            scaled[name] = value * factor
         return scaled
 
     def as_dict(self) -> dict[str, float]:
-        return dict(self._values)
+        return dict(dict.items(self))
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v:.6g}" for k, v in sorted(self._values.items()))
+        inner = ", ".join(f"{k}={v:.6g}" for k, v in sorted(dict.items(self)))
         return f"Counters({inner})"

@@ -22,6 +22,16 @@ from typing import Optional
 
 MANIFEST_SCHEMA_VERSION = 1
 
+#: Keys that legitimately differ between two runs of the same
+#: (config, seed) point: the wall-clock timestamp and host speed.
+#: Everything else must be byte-identical (seed determinism).
+VOLATILE_KEYS = ("created", "wall_time_s")
+
+
+def strip_volatile(manifest: dict) -> dict:
+    """Copy ``manifest`` without :data:`VOLATILE_KEYS`, for diffing."""
+    return {k: v for k, v in manifest.items() if k not in VOLATILE_KEYS}
+
 
 def build_manifest(result, created: Optional[float] = None) -> dict:
     """Build a manifest dict from a harness ``ExperimentResult``.
@@ -43,6 +53,7 @@ def build_manifest(result, created: Optional[float] = None) -> dict:
         "variant": result.variant,
         "scale": result.scale,
         "seed": result.seed,
+        "engine": getattr(result, "engine", "fast"),
         "cycles": result.cycles,
         "wall_time_s": result.wall_time_s,
         "correct": result.correct,
@@ -112,9 +123,15 @@ def load_manifest(path) -> dict:
 
 
 def load_manifests(directory) -> list:
-    """Load every ``*.json`` manifest under ``directory`` (sorted)."""
-    return [load_manifest(path)
-            for path in sorted(Path(directory).glob("*.json"))]
+    """Load every ``*.json`` manifest under ``directory`` (sorted).
+
+    Merged sweep documents (``kind == "sweep"``, written by
+    :func:`repro.harness.sweep.run_sweep`) are skipped — their
+    per-point manifests sit alongside them.
+    """
+    manifests = [load_manifest(path)
+                 for path in sorted(Path(directory).glob("*.json"))]
+    return [m for m in manifests if m.get("kind") != "sweep"]
 
 
 def summarize_manifests(manifests) -> tuple:

@@ -62,7 +62,7 @@ class BFSWorkload(GraphPipelineWorkload):
         # the only writer of its vertices, so its L1 copy is current).
         if self.distances[ngh] < 0:
             self.distances[ngh] = self.current_distance
-            yield from ctx.store(self.dist_ref.addr(ngh))
+            yield ("store", self.dist_ref.addr(ngh))
             yield from self.push_touched(ctx, shard, ngh)
 
     def at_barrier(self, iteration: int) -> None:

@@ -65,7 +65,7 @@ class CCWorkload(GraphPipelineWorkload):
     def s3_update(self, ctx, shard: int, ngh: int, value, p0):
         if p0 < self.labels[ngh]:
             self.labels[ngh] = p0
-            yield from ctx.store(self.labels_ref.addr(ngh))
+            yield ("store", self.labels_ref.addr(ngh))
             if ngh not in self._in_next[shard]:
                 self._in_next[shard].add(ngh)
                 yield from self.push_touched(ctx, shard, ngh)

@@ -181,8 +181,7 @@ class GraphPipelineWorkload:
 
     def push_touched(self, ctx, shard: int, v: int):
         """S3 helper: append ``v`` to the next fringe (one store)."""
-        addr = self._append_touched(shard, v)
-        yield from ctx.store(addr)
+        yield ("store", self._append_touched(shard, v))
 
     def barrier_step(self, iteration: int) -> Optional[list[tuple[int, int]]]:
         """Swap fringe buffers; returns per-shard (count, half) or None.
@@ -223,45 +222,51 @@ class GraphPipelineWorkload:
 
     # -- stage semantics -------------------------------------------------------
 
+    # The stage coroutines yield request tuples directly instead of
+    # going through the ctx.* helper sub-generators, and hoist their
+    # queue-name strings out of the per-token loops: both would
+    # otherwise cost an allocation per simulated token.
+
     def _s0_semantics(self, shard: int):
         """Process fringe: stream vertices, generate offset/state addrs."""
-        q = self.q
         offsets = self.offsets_ref
+        iter_q = self.q("iter", shard)
+        off_in = self.q("off_in", shard)
+        fr_in = self.q("fr_in", shard)
+        fr_out = self.q("fr_out", shard)
 
         def run(ctx):
             while True:
-                token = yield from ctx.deq(q("iter", shard))
+                token = yield ("deq", iter_q)
                 assert token.is_control
                 if token.value == STOP_VALUE:
-                    yield from ctx.enq(q("off_in", shard), STOP_VALUE,
-                                       is_control=True)
+                    yield ("enq", off_in, STOP_VALUE, True)
                     return
                 _, count, half = token.value
                 if count:
                     scan = self.fringe_scan_range(shard, half, count)
-                    yield from ctx.enq(q("fr_in", shard), scan)
+                    yield ("enq", fr_in, scan, False)
                     for _ in range(count):
-                        vtok = yield from ctx.deq(q("fr_out", shard))
+                        vtok = yield ("deq", fr_out)
                         v = int(vtok.value)
                         addrs = (offsets.addr(v), offsets.addr(v + 1),
                                  *self.vertex_fetch_addrs(v))
-                        yield from ctx.enq(q("off_in", shard), (*addrs, v))
-                yield from ctx.enq(q("off_in", shard), END_ITER,
-                                   is_control=True)
+                        yield ("enq", off_in, (*addrs, v), False)
+                yield ("enq", off_in, END_ITER, True)
 
         return run
 
     def _s1_semantics(self, shard: int):
         """Enumerate neighbors: vertex-side work, then per-edge addrs."""
-        q = self.q
-        neighbors = self.neighbors_ref
+        neighbors_addr = self.neighbors_ref.addr
+        off_out = self.q("off_out", shard)
+        ngh_in = self.q("ngh_in", shard)
 
         def run(ctx):
             while True:
-                token = yield from ctx.deq(q("off_out", shard))
+                token = yield ("deq", off_out)
                 if token.is_control:
-                    yield from ctx.enq(q("ngh_in", shard), token.value,
-                                       is_control=True)
+                    yield ("enq", ngh_in, token.value, True)
                     if token.value == STOP_VALUE:
                         return
                     continue
@@ -272,39 +277,39 @@ class GraphPipelineWorkload:
                     continue
                 p_edge = self.s1_edge_payload(v, start, end, p0)
                 for e in range(start, end):
-                    yield from ctx.enq(q("ngh_in", shard),
-                                       (neighbors.addr(e), p_edge))
+                    yield ("enq", ngh_in, (neighbors_addr(e), p_edge), False)
 
         return run
 
     def _s2_semantics(self, shard: int):
-        q = self.q
+        value_addr = self.value_addr
+        ngh_out = self.q("ngh_out", shard)
+        val_in = self.q("val_in", shard)
 
         def run(ctx):
             while True:
-                token = yield from ctx.deq(q("ngh_out", shard))
+                token = yield ("deq", ngh_out)
                 if token.is_control:
-                    yield from ctx.enq(q("val_in", shard), token.value,
-                                       is_control=True)
+                    yield ("enq", val_in, token.value, True)
                     if token.value == STOP_VALUE:
                         return
                     continue
                 ngh, p_edge = token.value
                 ngh = int(ngh)
-                yield from ctx.enq(q("val_in", shard),
-                                   (self.value_addr(ngh), ngh, p_edge))
+                yield ("enq", val_in, (value_addr(ngh), ngh, p_edge), False)
 
         return run
 
     def _s3_semantics(self, shard: int):
-        q = self.q
         n_shards = self.n_shards
+        inbox = self.q("inbox", shard)
+        barrier = f"{self.name}.barrier"
 
         def run(ctx):
             ends_left = n_shards
             stops_left = n_shards
             while True:
-                token = yield from ctx.deq(q("inbox", shard))
+                token = yield ("deq", inbox)
                 if token.is_control:
                     if token.value == STOP_VALUE:
                         stops_left -= 1
@@ -314,9 +319,7 @@ class GraphPipelineWorkload:
                         ends_left -= 1
                         if ends_left == 0:
                             ends_left = n_shards
-                            yield from ctx.enq(
-                                f"{self.name}.barrier", ("done", shard),
-                                is_control=True)
+                            yield ("enq", barrier, ("done", shard), True)
                     continue
                 value, ngh, p_edge = token.value
                 yield from self.s3_update(ctx, shard, int(ngh), value, p_edge)
@@ -409,12 +412,12 @@ class GraphPipelineWorkload:
         }
 
     def _route_fn(self):
-        q = self.q
         n_shards = self.n_shards
+        inboxes = tuple(self.q("inbox", s) for s in range(n_shards))
 
         def route(values, payload):
             # payload = (ngh, p_edge); owner shard from the neighbor id.
-            return q("inbox", shard_of(payload[0], n_shards))
+            return inboxes[int(payload[0]) % n_shards]
 
         return route
 

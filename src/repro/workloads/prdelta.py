@@ -110,12 +110,12 @@ class PRDeltaWorkload(GraphPipelineWorkload):
             read_buf = self._write_buf ^ 1
             self.delta[v] = self.acc[read_buf][v]
             self.acc[read_buf][v] = 0.0
-            yield from ctx.store(self.acc_refs[read_buf].addr(v))
-            yield from ctx.store(self.delta_ref.addr(v))
+            yield ("store", self.acc_refs[read_buf].addr(v))
+            yield ("store", self.delta_ref.addr(v))
         if abs(self.delta[v]) <= self.epsilon:
             return None
         self.rank[v] += self.delta[v]
-        yield from ctx.store(self.rank_ref.addr(v))
+        yield ("store", self.rank_ref.addr(v))
         return float(self.delta[v])
 
     def s1_edge_payload(self, v: int, start: int, end: int, p0):
@@ -126,7 +126,7 @@ class PRDeltaWorkload(GraphPipelineWorkload):
     def s3_update(self, ctx, shard: int, ngh: int, value, p0):
         buf = self._write_buf
         self.acc[buf][ngh] += p0
-        yield from ctx.store(self.acc_refs[buf].addr(ngh))
+        yield ("store", self.acc_refs[buf].addr(ngh))
         if ngh not in self._in_next[shard]:
             self._in_next[shard].add(ngh)
             yield from self.push_touched(ctx, shard, ngh)

@@ -129,8 +129,8 @@ class RadiiWorkload(GraphPipelineWorkload):
                 return None
             self.visited[v] = combined
             self.radii[v] = self.round - 1
-            yield from ctx.store(self.visited_ref.addr(v))
-            yield from ctx.store(self.radii_ref.addr(v))
+            yield ("store", self.visited_ref.addr(v))
+            yield ("store", self.radii_ref.addr(v))
         return int(self.visited[v])
 
     def s3_update(self, ctx, shard: int, ngh: int, value, p0):
@@ -139,7 +139,7 @@ class RadiiWorkload(GraphPipelineWorkload):
         combined = self.next_visited[buf][ngh] | mask
         if combined != self.next_visited[buf][ngh]:
             self.next_visited[buf][ngh] = combined
-            yield from ctx.store(self.next_refs[buf].addr(ngh))
+            yield ("store", self.next_refs[buf].addr(ngh))
             if ngh not in self._in_next[shard]:
                 self._in_next[shard].add(ngh)
                 yield from self.push_touched(ctx, shard, ngh)

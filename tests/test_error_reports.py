@@ -1,0 +1,166 @@
+"""Deadlock/timeout diagnostics: the exception message must say *why*.
+
+A bare "deadlock at cycle N" forces users into print-debugging; the
+report now names, per PE, the resident stage, each stage's blocked
+reason (which queue, enq vs deq, full vs out-of-credits), and the
+occupancy of every non-empty queue. Both engines must raise the same
+exception at the same cycle with the same state report.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import (DeadlockError, PEProgram, Program, SimulationTimeout,
+                        StageSpec, System, STOP_VALUE)
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+
+
+def _passthrough_dfg(name, in_q, out_q):
+    b = DFGBuilder(name)
+    x = b.deq(in_q)
+    b.enq(out_q, x)
+    return b.finish()
+
+
+def _sink_dfg(name, in_q):
+    b = DFGBuilder(name)
+    x = b.deq(in_q)
+    b.add(x, x)
+    return b.finish()
+
+
+def _source_dfg(name, out_q):
+    b = DFGBuilder(name)
+    counter = b.reg("i")
+    one = b.const(1)
+    nxt = b.add(counter, one)
+    b.set_reg(counter, nxt)
+    b.enq(out_q, nxt)
+    return b.finish()
+
+
+def _stuck_program():
+    """Producer overfills 'err.q' (more items than its word capacity,
+    so it ends up blocked on a full queue); the consumer waits forever
+    on 'err.never'. At deadlock both stages are blocked for different
+    reasons — full enq vs empty deq — and the report must name each."""
+    space = AddressSpace()
+    memmap = MemoryMap()
+
+    def producer(ctx):
+        for i in range(3000):
+            yield from ctx.enq("err.q", i)
+        yield from ctx.enq("err.q", STOP_VALUE, is_control=True)
+
+    def stuck_consumer(ctx):
+        yield from ctx.deq("err.never")
+
+    pe = PEProgram(
+        shard=0,
+        queue_specs=[QueueSpec("err.q"), QueueSpec("err.never")],
+        stage_specs=[
+            StageSpec("err.src", _source_dfg("err.src", "err.q"), producer),
+            StageSpec("err.snk", _sink_dfg("err.snk", "err.never"),
+                      stuck_consumer),
+        ])
+    return Program("err", [pe], space, memmap, result_fn=lambda: None)
+
+
+_CONFIG = SystemConfig(n_pes=1, deadlock_quanta=20)
+
+
+def _deadlock_message(engine):
+    system = System(_CONFIG, _stuck_program(), mode="fifer")
+    with pytest.raises(DeadlockError) as excinfo:
+        system.run(engine=engine)
+    return str(excinfo.value), system.cycle
+
+
+class TestDeadlockReport:
+    def test_names_pes_stages_and_reasons(self):
+        message, _ = _deadlock_message("fast")
+        assert "no progress for 20 quanta" in message
+        # Per-PE resident stage.
+        assert "PE0 resident=" in message
+        # Per-stage blocked reason, naming the culprit queue and op.
+        assert "err.snk: blocked on deq 'err.never' (empty)" in message
+        assert "err.src: blocked on enq 'err.q'" in message
+        # Occupancy of the stuffed queue, with capacity.
+        assert "non-empty queues:" in message
+        assert "err.q:" in message
+        assert "words" in message
+
+    def test_engines_agree(self):
+        fast_msg, fast_cycle = _deadlock_message("fast")
+        naive_msg, naive_cycle = _deadlock_message("naive")
+        assert fast_msg == naive_msg
+        assert fast_cycle == naive_cycle
+
+    def test_full_vs_out_of_credits(self):
+        # err.q is full at deadlock: the reason must distinguish a full
+        # queue from an out-of-credits one.
+        message, _ = _deadlock_message("fast")
+        assert ("(full;" in message) or ("(out of credits;" in message)
+
+
+class TestTimeoutReport:
+    # Generous deadlock_quanta so the 8192-cycle timeout always wins,
+    # long after both stages have reached their stuck state.
+    _TIMEOUT_CONFIG = SystemConfig(n_pes=1, deadlock_quanta=500)
+
+    def _timeout_message(self, engine):
+        system = System(self._TIMEOUT_CONFIG, _stuck_program(), mode="fifer")
+        with pytest.raises(SimulationTimeout) as excinfo:
+            system.run(max_cycles=8192, engine=engine)
+        return str(excinfo.value), system.cycle
+
+    def test_includes_state_report(self):
+        message, _ = self._timeout_message("fast")
+        assert "exceeded 8192 cycles" in message
+        assert "PE0 resident=" in message
+        assert "err.snk: blocked on deq 'err.never' (empty)" in message
+        assert "non-empty queues:" in message
+
+    def test_engines_agree(self):
+        fast = self._timeout_message("fast")
+        naive = self._timeout_message("naive")
+        assert fast == naive
+
+
+def _healthy_program():
+    space = AddressSpace()
+    memmap = MemoryMap()
+    seen = []
+
+    def producer(ctx):
+        for i in range(10):
+            yield from ctx.enq("ok.q", i)
+        yield from ctx.enq("ok.q", STOP_VALUE, is_control=True)
+
+    def consumer(ctx):
+        while True:
+            token = yield from ctx.deq("ok.q")
+            if token.is_control:
+                return
+            seen.append(token.value)
+
+    pe = PEProgram(
+        shard=0,
+        queue_specs=[QueueSpec("ok.q")],
+        stage_specs=[
+            StageSpec("ok.src", _source_dfg("ok.src", "ok.q"), producer),
+            StageSpec("ok.snk", _sink_dfg("ok.snk", "ok.q"), consumer),
+        ])
+    return Program("ok", [pe], space, memmap, result_fn=lambda: seen)
+
+
+@pytest.mark.parametrize("engine", ["fast", "naive"])
+def test_healthy_completion_raises_nothing(engine):
+    # The same topology with a consumer on the right queue completes;
+    # the diagnostics only fire on real deadlocks.
+    result = System(_CONFIG, _healthy_program(), mode="fifer").run(
+        engine=engine)
+    assert result.result == list(range(10))
