@@ -1,0 +1,82 @@
+"""Front-end parity benchmark: generated vs hand-written pipelines.
+
+The decoupling front-end (paper Sec. 4, ``repro.frontend``) lowers an
+annotated kernel onto the same pipeline skeleton the hand-written
+workloads use, so a ported workload must cost *exactly* the same
+simulated cycles — any drift means the generated DFGs, queue widths, or
+request streams diverged. This benchmark runs the BFS and CC pairs on
+the Fifer system and asserts cycle-for-cycle equality, and records the
+front-end's own cost: compilation wall time (analysis + lint) and
+per-workload lowering time, written to
+``benchmarks/results/frontend_parity.txt``.
+"""
+
+import time
+
+from bench_common import SCALE_MULT, emit
+from repro.config import SystemConfig
+from repro.core import System
+from repro.frontend import compile_kernel
+from repro.frontend.kernels import FRONTEND_KERNELS
+from repro.harness import format_table, prepare_input, run_experiment
+from repro.harness.run import default_scale
+
+# BFS and CC have hand-written counterparts; SSSP is frontend-only and
+# is validated against its golden reference in the test suite instead.
+_PORTED = ("bfs", "cc")
+_INPUT = "Hu"
+
+
+def _compile_times():
+    """Wall time of the full front-end analysis, per kernel."""
+    times = {}
+    for name, factory in sorted(FRONTEND_KERNELS.items()):
+        start = time.perf_counter()
+        pipeline = compile_kernel(factory())
+        times[name] = time.perf_counter() - start
+        assert pipeline.name == name
+    return times
+
+
+def _generated_cycles(name, prepared, config):
+    program, _ = compile_kernel(FRONTEND_KERNELS[name]()).build(
+        prepared.data, config, "fifer")
+    start = time.perf_counter()
+    raw = System(config, program, mode="fifer").run()
+    return float(raw.cycles), time.perf_counter() - start
+
+
+def run_frontend_parity():
+    config = SystemConfig()
+    compile_times = _compile_times()
+    rows, parity = [], {}
+    for name in _PORTED:
+        scale = default_scale(name, _INPUT) * SCALE_MULT
+        prepared = prepare_input(name, _INPUT, scale=scale)
+        hand = run_experiment(name, _INPUT, "fifer", prepared=prepared)
+        gen_cycles, _sim_time = _generated_cycles(name, prepared, config)
+        assert gen_cycles == hand.cycles, (
+            f"{name}: generated pipeline took {gen_cycles} cycles, "
+            f"hand-written took {hand.cycles}")
+        parity[name] = (gen_cycles, hand.cycles)
+        rows.append([name, _INPUT, f"{hand.cycles:.0f}",
+                     f"{gen_cycles:.0f}", "yes",
+                     f"{compile_times[name] * 1e3:.2f}"])
+    for name in sorted(set(FRONTEND_KERNELS) - set(_PORTED)):
+        rows.append([name, "-", "-", "-", "frontend-only",
+                     f"{compile_times[name] * 1e3:.2f}"])
+    table = format_table(
+        ["kernel", "input", "hand-written (cyc)", "generated (cyc)",
+         "identical", "compile time (ms)"],
+        rows,
+        title=("front-end parity: generated pipelines must match the "
+               "hand-written cycle counts exactly (fifer, decoupled)"))
+    emit("frontend_parity", table)
+    return parity
+
+
+def test_frontend_parity(benchmark):
+    parity = benchmark.pedantic(run_frontend_parity, rounds=1, iterations=1)
+    assert parity
+    for name, (gen, hand) in parity.items():
+        assert gen == hand, name

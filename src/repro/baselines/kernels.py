@@ -112,6 +112,52 @@ def cc_kernel(graph: CSRGraph, n_cores: int):
     return kernel
 
 
+def sssp_kernel(graph: CSRGraph, source: int, n_cores: int):
+    from repro.frontend.kernels import SSSP_INF, sssp_edge_weights
+
+    space = AddressSpace()
+    offsets_ref = space.alloc_array("offsets", graph.n_vertices + 1)
+    neighbors_ref = space.alloc_array("neighbors", max(1, graph.n_edges))
+    dist_ref = space.alloc_array("dist", graph.n_vertices)
+    fringe_ref = space.alloc_array("fringe", graph.n_vertices)
+    weights_ref = space.alloc_array("weights", max(1, graph.n_edges))
+
+    def kernel(machines, barrier):
+        weights = sssp_edge_weights(graph)
+        dist = np.full(graph.n_vertices, SSSP_INF, dtype=np.int64)
+        dist[source] = 0
+        fringe = [source]
+        while fringe:
+            slices = [[v for v in fringe if v % n_cores == c]
+                      for c in range(n_cores)]
+            touched = set()
+            for core, machine in enumerate(machines):
+                for v in slices[core]:
+                    machine.instr(VERTEX_INSTRS)
+                    machine.load(fringe_ref.addr(v % graph.n_vertices))
+                    machine.load(offsets_ref.addr(v))
+                    machine.load(offsets_ref.addr(v + 1))
+                    machine.load(dist_ref.addr(v))
+                    dv = int(dist[v])
+                    for e in range(graph.offsets[v], graph.offsets[v + 1]):
+                        machine.instr(EDGE_INSTRS)
+                        machine.load(neighbors_ref.addr(e))
+                        machine.load(weights_ref.addr(e))
+                        ngh = int(graph.neighbors[e])
+                        machine.load(dist_ref.addr(ngh))
+                        cand = dv + int(weights[e])
+                        if cand < dist[ngh]:
+                            dist[ngh] = cand
+                            machine.instr(UPDATE_INSTRS)
+                            machine.store(dist_ref.addr(ngh))
+                            touched.add(ngh)
+            barrier()
+            fringe = sorted(touched)
+        return dist
+
+    return kernel
+
+
 def prd_kernel(graph: CSRGraph, n_cores: int, damping: float,
                epsilon: float, max_iterations: int = 1000):
     offsets_ref, neighbors_ref, acc_ref, rank_ref = _graph_refs(graph)

@@ -14,6 +14,12 @@ Commands:
   timeline; ``chrome`` emits Chrome trace-event JSON (open it in
   https://ui.perfetto.dev — one track per PE, one counter track per
   queue); ``jsonl`` streams every structured event as JSON lines.
+* ``compile WORKLOAD [--stage N] [--json]`` — run the decoupling
+  front-end on an annotated kernel and print the generated stage list,
+  the inter-stage queue graph, and per-stage pseudo-assembly (the
+  dialect :mod:`repro.ir.asmparse` parses). ``--stage N`` narrows the
+  output to one stage; ``--json`` emits the machine-readable
+  description.
 * ``stats APP INPUT [--json]`` — run one experiment and print its full
   statistics (CPI stack, cache/memory, residence); ``--json`` emits the
   machine-readable run manifest instead.
@@ -30,6 +36,7 @@ import sys
 
 from repro.config import SystemConfig
 from repro.core import ENGINES
+from repro.frontend import FRONTEND_KERNELS, get_frontend
 from repro.harness import (SweepPoint, format_table, run_experiment,
                            run_sweep, speedup_table)
 from repro.harness.report import bar_chart
@@ -178,6 +185,60 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    description = get_frontend(args.workload).describe()
+    stages = description["stages"]
+    if args.stage is not None and not 0 <= args.stage < len(stages):
+        raise SystemExit(
+            f"no stage {args.stage}; {args.workload} has "
+            f"{len(stages)} stages (0..{len(stages) - 1})")
+    if args.json:
+        payload = (stages[args.stage] if args.stage is not None
+                   else description)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.stage is not None:
+        stage = stages[args.stage]
+        print(f"{stage['name']} — {stage['role']} "
+              f"({stage['compute_ops']} ops, depth {stage['depth']})")
+        for drm in stage["drms"]:
+            print(f"  uses {drm}")
+        print()
+        print(stage["asm"], end="")
+        return 0
+    split = description["split"]
+    print(f"{args.workload}: {description['doc']}")
+    print(f"  owner-routed array: {split['owner_array']}; "
+          f"vertex fetch {split['vertex_fetch_words']} word(s), "
+          f"edge fetch {split['edge_fetch_words']} word(s)")
+    print(f"  payload across edge cut: "
+          f"{split['payload_across_edge_cut'] or '(none)'}; "
+          f"across cross-shard hop: "
+          f"{split['payload_across_hop'] or '(none)'}")
+    print(f"  feed-forward: {description['feed_forward']}; "
+          f"uses epoch: {split['uses_epoch']}; "
+          f"dedup pushes: {split['dedup_pushes']}")
+    print()
+    rows = [[str(s["index"]), s["name"], s["role"],
+             ", ".join(s["drms"]) or "-", str(s["compute_ops"]),
+             str(s["depth"])] for s in stages]
+    print(format_table(["#", "stage", "role", "DRMs", "ops", "depth"],
+                       rows, title="generated stages (one replica shown; "
+                                   "replicated per shard)"))
+    print()
+    rows = [[e["queue"], f"{e['src']} -> {e['dst']}", str(e["words"]),
+             ("control" if e["control"]
+              else "cross-shard" if e["cross_shard"] else "data")]
+            for e in description["queues"]]
+    print(format_table(["queue", "channel", "words", "kind"], rows,
+                       title="inter-stage queue graph"))
+    for stage in stages:
+        print(f"\n; stage {stage['index']}: {stage['name']} "
+              f"({stage['role']})")
+        print(stage["asm"], end="")
+    return 0
+
+
 def cmd_stats(args) -> int:
     _check_input(args.app, args.input)
     result = run_experiment(args.app, args.input, args.system,
@@ -274,6 +335,15 @@ def main(argv=None) -> int:
                          help="queue-occupancy sampling period "
                               "(default: 512)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_compile = sub.add_parser(
+        "compile", help="split an annotated kernel into its stage pipeline")
+    p_compile.add_argument("workload", choices=sorted(FRONTEND_KERNELS))
+    p_compile.add_argument("--stage", type=int, default=None, metavar="N",
+                           help="show only stage N (0-based)")
+    p_compile.add_argument("--json", action="store_true",
+                           help="emit the machine-readable description")
+    p_compile.set_defaults(func=cmd_compile)
 
     p_stats = sub.add_parser(
         "stats", help="full statistics for one run (tables or JSON)")

@@ -1,0 +1,347 @@
+"""Kernel-description layer of the decoupling front-end (paper Sec. 4).
+
+A workload is written as ONE straight-line loop body: the work done for
+one active vertex of one iteration. Long-latency accesses are marked
+with :meth:`GraphKernel.load`; everything else is ordinary builder-style
+expression construction. The front-end then splits the kernel at every
+marked load (:mod:`repro.frontend.split`), proves the resulting
+pipeline feed-forward (:mod:`repro.frontend.lint`), and lowers the
+stages onto the simulated CGRA (:mod:`repro.frontend.lower`).
+
+Example — BFS in full::
+
+    k = GraphKernel("bfs")
+    k.param("source", 0)
+    dist = k.state("distances", init=bfs_init, output=True)
+    k.start_from("source", "source")
+    v = k.vertex()
+    start = k.load(k.offsets, v)
+    end = k.load(k.offsets, v + 1)
+    with k.edges(start, end) as e:
+        ngh = k.load(k.neighbors, e)
+        dv = k.load(dist, ngh, owner=True)
+        with k.when(dv < 0):
+            k.store(dist, ngh, k.epoch())
+            k.push(ngh)
+
+``owner=True`` marks the access that crosses shards: it is routed to
+the owner of the indexed vertex and its consumers run there (paper
+Sec. 5.6). ``epoch()`` is the iteration counter maintained by the
+control core. Integers and floats mix freely with :class:`Value`
+expressions.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+
+class FrontendError(Exception):
+    """The kernel cannot be expressed on the generated pipeline."""
+
+
+_NUMBER_TYPES = (int, float)
+
+# Expression ops. "edge" is the loop induction variable; "load" the
+# marked long-latency access.
+_BINOPS = {"add": "+", "sub": "-", "mul": "*", "lt": "<", "eq": "=="}
+
+
+class Value:
+    """One SSA value of the kernel expression graph."""
+
+    __slots__ = ("kernel", "vid", "op", "args", "attr", "in_edge_loop")
+
+    def __init__(self, kernel: "GraphKernel", op: str, args: tuple = (),
+                 attr=None):
+        self.kernel = kernel
+        self.vid = len(kernel.values)
+        self.op = op
+        self.args = args
+        self.attr = attr
+        self.in_edge_loop = kernel._in_edges
+        kernel.values.append(self)
+
+    # -- expression sugar --------------------------------------------------
+
+    def _wrap(self, other) -> "Value":
+        if isinstance(other, Value):
+            if other.kernel is not self.kernel:
+                raise FrontendError(
+                    f"{other.label} belongs to kernel "
+                    f"{other.kernel.name!r}, not {self.kernel.name!r}")
+            return other
+        if isinstance(other, _NUMBER_TYPES):
+            return self.kernel.const(other)
+        raise FrontendError(
+            f"cannot mix {type(other).__name__!r} into kernel "
+            f"{self.kernel.name!r} expressions")
+
+    def _bin(self, op: str, other, swap: bool = False) -> "Value":
+        other = self._wrap(other)
+        args = (other, self) if swap else (self, other)
+        return Value(self.kernel, op, args)
+
+    def __add__(self, other):
+        return self._bin("add", other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._bin("sub", other)
+
+    def __rsub__(self, other):
+        return self._bin("sub", other, swap=True)
+
+    def __mul__(self, other):
+        return self._bin("mul", other)
+
+    __rmul__ = __mul__
+
+    def __lt__(self, other):
+        return self._bin("lt", other)
+
+    def __gt__(self, other):
+        return self._bin("lt", other, swap=True)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._bin("eq", other)
+
+    __hash__ = None  # Values are not hashable: == builds an expression
+
+    def __bool__(self) -> bool:
+        raise FrontendError(
+            f"{self.label} is a symbolic value; wrap conditions in "
+            f"kernel.when(...) instead of Python `if`")
+
+    @property
+    def label(self) -> str:
+        """Human-readable node name for diagnostics."""
+        if self.op == "load":
+            return f"%{self.vid} = load({self.attr.ref.name})"
+        if self.op == "const":
+            return f"%{self.vid} = const({self.attr})"
+        return f"%{self.vid} = {self.op}"
+
+    def __repr__(self) -> str:
+        return f"<{self.label}>"
+
+
+class LoadInfo:
+    """Attribute payload of a ``load`` value."""
+
+    __slots__ = ("ref", "owner")
+
+    def __init__(self, ref: "Ref", owner: bool):
+        self.ref = ref
+        self.owner = owner
+
+
+class Ref:
+    """A named array the kernel reads or writes.
+
+    ``size`` is ``"vertices"``, ``"vertices+1"``, or ``"edges"``;
+    ``init(graph, params)`` produces the initial numpy contents.
+    """
+
+    __slots__ = ("name", "size", "mutable", "init", "output", "builtin")
+
+    def __init__(self, name: str, size: str, mutable: bool,
+                 init: Optional[Callable], output: bool,
+                 builtin: bool = False):
+        if size not in ("vertices", "vertices+1", "edges"):
+            raise FrontendError(f"ref {name!r}: unknown size {size!r}")
+        self.name = name
+        self.size = size
+        self.mutable = mutable
+        self.init = init
+        self.output = output
+        self.builtin = builtin
+
+    def length(self, graph) -> int:
+        if self.size == "vertices":
+            return graph.n_vertices
+        if self.size == "vertices+1":
+            return graph.n_vertices + 1
+        return max(1, graph.n_edges)
+
+    def __repr__(self) -> str:
+        return f"Ref({self.name!r})"
+
+
+class Statement:
+    """A side effect in program order: a store or a fringe push."""
+
+    __slots__ = ("kind", "ref", "index", "value", "dedup", "preds",
+                 "in_edge_loop", "sid")
+
+    def __init__(self, kernel: "GraphKernel", kind: str, ref=None,
+                 index=None, value=None, dedup: bool = False):
+        self.kind = kind            # "store" | "push"
+        self.ref = ref
+        self.index = index
+        self.value = value
+        self.dedup = dedup
+        self.preds = tuple(kernel._preds)
+        self.in_edge_loop = kernel._in_edges
+        self.sid = len(kernel.statements)
+        kernel.statements.append(self)
+
+    @property
+    def label(self) -> str:
+        if self.kind == "store":
+            return f"store#{self.sid}({self.ref.name})"
+        return f"push#{self.sid}"
+
+
+class GraphKernel:
+    """One annotated kernel: declarations plus a straight-line loop body.
+
+    The CSR graph structure (``offsets``, ``neighbors``) is built in;
+    additional state is declared with :meth:`state`. The body is
+    recorded at definition time — context managers (:meth:`edges`,
+    :meth:`when`) scope the edge loop and predication.
+    """
+
+    def __init__(self, name: str, doc: str = ""):
+        self.name = name
+        self.doc = doc
+        self.params: dict = {}
+        self.refs: list[Ref] = []         # declared state, in order
+        self.values: list[Value] = []
+        self.statements: list[Statement] = []
+        self.fringe = ("all", None)       # ("all"|"source", param name)
+        self.offsets = Ref("offsets", "vertices+1", mutable=False,
+                           init=None, output=False, builtin=True)
+        self.neighbors = Ref("neighbors", "edges", mutable=False,
+                             init=None, output=False, builtin=True)
+        self._in_edges = False
+        self._edges_defined = False
+        self._edge_var: Optional[Value] = None
+        self._preds: list[Value] = []
+        self._vertex: Optional[Value] = None
+        self._epoch: Optional[Value] = None
+
+    # -- declarations ------------------------------------------------------
+
+    def param(self, name: str, default) -> str:
+        """Declare a runtime parameter (e.g. the BFS source vertex)."""
+        self.params[name] = default
+        return name
+
+    def state(self, name: str, size: str = "vertices", init=None,
+              mutable: bool = True, output: bool = False) -> Ref:
+        """Declare a state array; ``init(graph, params)`` fills it."""
+        if init is None:
+            raise FrontendError(f"state {name!r} needs an init function")
+        for existing in self.refs:
+            if existing.name == name:
+                raise FrontendError(f"state {name!r} declared twice")
+        if name in ("offsets", "neighbors"):
+            raise FrontendError(f"state {name!r} shadows a built-in array")
+        ref = Ref(name, size, mutable, init, output)
+        self.refs.append(ref)
+        return ref
+
+    def start_from(self, kind: str, param: Optional[str] = None) -> None:
+        """Initial fringe: ``"all"`` vertices or one ``"source"`` param."""
+        if kind not in ("all", "source"):
+            raise FrontendError(f"unknown initial fringe kind {kind!r}")
+        if kind == "source" and param not in self.params:
+            raise FrontendError(
+                f"start_from('source', {param!r}): no such param")
+        self.fringe = (kind, param)
+
+    # -- expression constructors -------------------------------------------
+
+    def const(self, value) -> Value:
+        if not isinstance(value, _NUMBER_TYPES):
+            raise FrontendError(f"const of non-number {value!r}")
+        return Value(self, "const", attr=value)
+
+    def vertex(self) -> Value:
+        """The active vertex id (the outer loop's induction variable)."""
+        if self._vertex is None:
+            self._vertex = Value(self, "vertex")
+        return self._vertex
+
+    def epoch(self) -> Value:
+        """The iteration counter (1 on the first iteration)."""
+        if self._epoch is None:
+            self._epoch = Value(self, "epoch")
+        return self._epoch
+
+    def load(self, ref: Ref, index, owner: bool = False) -> Value:
+        """A marked long-latency access — the pipeline splits here."""
+        if not isinstance(ref, Ref):
+            raise FrontendError(f"load target {ref!r} is not a declared ref")
+        if not isinstance(index, Value):
+            index = self.const(index)
+        if owner and not ref.mutable:
+            raise FrontendError(
+                f"owner load of {ref.name!r}: owner routing is for the "
+                f"mutable destination array")
+        return Value(self, "load", (index,), LoadInfo(ref, owner))
+
+    # -- structure ---------------------------------------------------------
+
+    @contextmanager
+    def edges(self, start: Value, end: Value):
+        """The per-edge loop ``for e in [start, end)``; yields ``e``."""
+        if self._edges_defined:
+            raise FrontendError(
+                f"kernel {self.name!r}: only one edge loop is supported")
+        if not (isinstance(start, Value) and isinstance(end, Value)):
+            raise FrontendError("edges() bounds must be kernel values")
+        self._edges_defined = True
+        self._in_edges = True
+        edge = Value(self, "edge", attr=(start, end))
+        self._edge_var = edge
+        try:
+            yield edge
+        finally:
+            self._in_edges = False
+
+    @contextmanager
+    def when(self, cond: Value):
+        """Predicate the enclosed statements on ``cond``."""
+        if not isinstance(cond, Value):
+            raise FrontendError("when() takes a kernel value")
+        self._preds.append(cond)
+        try:
+            yield
+        finally:
+            self._preds.pop()
+
+    # -- side effects ------------------------------------------------------
+
+    def store(self, ref: Ref, index, value) -> Statement:
+        if not isinstance(ref, Ref):
+            raise FrontendError(f"store target {ref!r} is not a declared ref")
+        if not isinstance(index, Value):
+            index = self.const(index)
+        if not isinstance(value, Value):
+            value = self.const(value)
+        return Statement(self, "store", ref=ref, index=index, value=value)
+
+    def push(self, v: Value, dedup: bool = False) -> Statement:
+        """Append the vertex ``v`` to the next iteration's fringe."""
+        if not isinstance(v, Value):
+            raise FrontendError("push() takes a kernel value (a vertex id)")
+        return Statement(self, "push", value=v, dedup=dedup)
+
+    # -- queries -----------------------------------------------------------
+
+    def loads(self) -> list[Value]:
+        return [v for v in self.values if v.op == "load"]
+
+    def get_ref(self, name: str) -> Ref:
+        if name == "offsets":
+            return self.offsets
+        if name == "neighbors":
+            return self.neighbors
+        for ref in self.refs:
+            if ref.name == name:
+                return ref
+        raise KeyError(name)

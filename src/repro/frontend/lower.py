@@ -1,0 +1,463 @@
+"""Lowering: instantiate a stage plan as a runnable pipeline program.
+
+The generated pipeline is a :class:`FrontendWorkload`, a subclass of the
+same :class:`~repro.workloads.common.GraphPipelineWorkload` skeleton the
+hand-written workloads use: the split analysis fills in the hooks
+(vertex fetches, payload datapaths, the update program) that a human
+author would write by hand. Because the skeleton is shared, a generated
+pipeline is *bit-identical* to its hand-written counterpart — same
+per-stage DFGs, queue specs, DRM specs, address-space layout, and
+token-for-token identical request streams — which the differential
+suite asserts for BFS and CC.
+
+Kernel expressions are lowered twice:
+
+* to *runtime closures* interpreted by the stage semantics coroutines
+  (marked loads compile to authoritative re-reads of the live arrays at
+  the consuming stage — the DRM-fetched copy may be stale within an
+  iteration, exactly as the hand-written workloads treat it);
+* to *DFG node emissions* for the mapper (loads that crossed a cut
+  become CTRL taps off the stage's input token).
+
+Every generated stage DFG is validated strictly (no dangling nodes) and
+the assembled program's queue wiring is checked with
+:func:`repro.ir.dfg.check_queue_wiring` before it is returned.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.datasets.graphs import CSRGraph
+from repro.frontend.kernel import FrontendError, GraphKernel
+from repro.frontend.split import StagePlan, analyze
+from repro.ir.dfg import check_queue_wiring
+from repro.workloads.common import GraphPipelineWorkload, shards_for_mode
+
+
+# -- runtime expression compiler ------------------------------------------
+
+_PYOPS = {"add": operator.add, "sub": operator.sub, "mul": operator.mul,
+          "lt": operator.lt, "eq": operator.eq}
+
+
+def _compile(value, bind: dict):
+    """Compile a kernel expression to a closure ``fn(workload, env)``.
+
+    ``bind`` maps value ids to env slot names; unbound marked loads
+    compile to authoritative re-reads of the live array.
+    """
+    slot = bind.get(value.vid)
+    if slot is not None:
+        return lambda wl, env: env[slot]
+    op = value.op
+    if op == "const":
+        const = value.attr
+        return lambda wl, env: const
+    if op == "epoch":
+        return lambda wl, env: wl._epoch
+    if op == "vertex":
+        return lambda wl, env: env["v"]
+    if op == "edge":
+        return lambda wl, env: env["e"]
+    if op == "load":
+        name = value.attr.ref.name
+        idx = _compile(value.args[0], bind)
+        return lambda wl, env: wl._arrays[name][idx(wl, env)].item()
+    if op in _PYOPS:
+        left = _compile(value.args[0], bind)
+        right = _compile(value.args[1], bind)
+        pyop = _PYOPS[op]
+        return lambda wl, env: pyop(left(wl, env), right(wl, env))
+    raise FrontendError(f"cannot compile {value.label} to a runtime closure")
+
+
+# -- DFG emission ----------------------------------------------------------
+
+_BIN_EMIT = {"add": "add", "sub": "sub", "mul": "mul", "lt": "lt",
+             "eq": "eq"}
+
+
+def _emit(b, value, bind: dict, memo: dict):
+    """Emit a kernel expression as DFG nodes; post-order, memoized.
+
+    ``bind`` maps value ids to already-present nodes (or thunks creating
+    them lazily, e.g. a CTRL tap off the stage's input token).
+    """
+    node = memo.get(value.vid)
+    if node is not None:
+        return node
+    bound = bind.get(value.vid)
+    if bound is not None:
+        node = bound() if callable(bound) else bound
+    elif value.op == "const":
+        node = b.const(value.attr)
+    elif value.op == "epoch":
+        # The iteration counter is a configuration-time constant the
+        # control core rewrites at each barrier (paper Sec. 5.5).
+        node = b.const(0)
+    elif value.op in _BIN_EMIT:
+        left = _emit(b, value.args[0], bind, memo)
+        right = _emit(b, value.args[1], bind, memo)
+        node = getattr(b, _BIN_EMIT[value.op])(left, right)
+    else:
+        raise FrontendError(
+            f"cannot emit {value.label} into this stage's datapath")
+    memo[value.vid] = node
+    return node
+
+
+# -- the generated workload ------------------------------------------------
+
+class FrontendWorkload(GraphPipelineWorkload):
+    """A pipeline generated from an annotated kernel by the front-end."""
+
+    def __init__(self, plan: StagePlan, graph: CSRGraph, n_shards: int,
+                 params: Optional[dict] = None,
+                 max_iterations: Optional[int] = None):
+        kernel = plan.kernel
+        self.plan = plan
+        self.kernel = kernel
+        # Instance attributes shadow the skeleton's class attributes; the
+        # kernel name keys every queue, DRM, and stage name (and thereby
+        # the runtime's credit bookkeeping), so a generated "bfs" is
+        # indistinguishable from the hand-written one.
+        self.name = kernel.name
+        self.vertex_fetch_words = len(plan.vertex_loads)
+        self.edge_fetch_words = 1 + len(plan.edge_extra_loads)
+        self.max_iterations = max_iterations
+
+        self._params = dict(kernel.params)
+        for key, value in (params or {}).items():
+            if key not in self._params:
+                raise FrontendError(
+                    f"kernel {kernel.name!r} has no parameter {key!r} "
+                    f"(declared: {sorted(self._params) or 'none'})")
+            self._params[key] = value
+
+        self._build_closures()
+        super().__init__(graph, n_shards)
+
+    def _build_closures(self) -> None:
+        plan = self.plan
+        kernel = self.kernel
+        vbind = {}
+        if kernel._vertex is not None:
+            vbind[kernel._vertex.vid] = "v"
+        # S0: per-vertex state fetch address generators.
+        self._vf = [(load.attr.ref.name, _compile(load.args[0], vbind))
+                    for load in plan.vertex_loads]
+        # S1: the per-vertex payload (cut-1 loads re-read live arrays).
+        self._p0_fn = (_compile(plan.p0, vbind)
+                       if plan.p0 is not None else None)
+        # S1: extra per-edge fetch address generators.
+        ebind = dict(vbind)
+        if kernel._edge_var is not None:
+            ebind[kernel._edge_var.vid] = "e"
+        self._extra_addr = [(load.attr.ref.name,
+                             _compile(load.args[0], ebind))
+                            for load in plan.edge_extra_loads]
+        # S2: fold the fetched extras into the hop payload.
+        s2bind = {plan.route_load.vid: "ngh"}
+        self._s2_slots = []
+        for i, load in enumerate(plan.edge_extra_loads):
+            slot = f"x{i}"
+            s2bind[load.vid] = slot
+            self._s2_slots.append(slot)
+        if plan.p0 is not None:
+            s2bind[plan.p0.vid] = "payload"
+        self._s2_fn = (_compile(plan.s2_value, s2bind)
+                       if plan.s2_value is not None else None)
+        # S3: the update program. The owner load is deliberately NOT
+        # bound: it compiles to an authoritative re-read of the live
+        # array at the owner shard (the DRM-fetched copy may be stale).
+        s3bind = {plan.route_load.vid: "ngh"}
+        if plan.s3_payload is not None:
+            s3bind[plan.s3_payload.vid] = "payload"
+        self._cond_fn = (_compile(plan.cond, s3bind)
+                         if plan.cond is not None else None)
+        self._update = []
+        for stmt in plan.update_ops:
+            if stmt.kind == "store":
+                self._update.append(
+                    ("store", stmt.ref.name, _compile(stmt.value, s3bind),
+                     False))
+            else:
+                self._update.append(("push", None, None, stmt.dedup))
+
+    # -- skeleton hooks: state ------------------------------------------
+
+    def setup(self) -> None:
+        self._arrays = {}
+        self._refs = {}
+        for ref in self.kernel.refs:
+            length = ref.length(self.graph)
+            array = np.asarray(ref.init(self.graph, self._params))
+            if array.shape != (length,):
+                raise FrontendError(
+                    f"kernel {self.kernel.name!r}: init of {ref.name!r} "
+                    f"returned shape {array.shape}, expected ({length},)")
+            handle = self.space.alloc_array(ref.name, length)
+            self.memmap.register(handle, array)
+            self._arrays[ref.name] = array
+            self._refs[ref.name] = handle
+        self._owner_handle = self._refs[self.plan.owner_load.attr.ref.name]
+        self._epoch = 1
+        if self.plan.needs_dedup:
+            self._in_next = [set() for _ in range(self.n_shards)]
+
+    def value_addr(self, ngh: int) -> int:
+        return self._owner_handle.addr(ngh)
+
+    def initial_fringe(self):
+        kind, param = self.kernel.fringe
+        if kind == "all":
+            return range(self.graph.n_vertices)
+        return [int(self._params[param])]
+
+    def result(self):
+        for ref in self.kernel.refs:
+            if ref.output:
+                return self._arrays[ref.name]
+        return self._arrays[self.kernel.refs[0].name]
+
+    # -- skeleton hooks: stage semantics --------------------------------
+
+    def vertex_fetch_addrs(self, v: int) -> tuple:
+        env = {"v": v}
+        return tuple(self._refs[name].addr(fn(self, env))
+                     for name, fn in self._vf)
+
+    def vertex_process(self, ctx, shard: int, v: int, start: int, end: int):
+        fn = self._p0_fn
+        if fn is None:
+            return 0
+        return fn(self, {"v": v})
+        yield  # pragma: no cover - makes this a generator
+
+    def edge_extra_addrs(self, e: int) -> tuple:
+        env = {"e": e}
+        return tuple(self._refs[name].addr(fn(self, env))
+                     for name, fn in self._extra_addr)
+
+    def edge_extra_values(self, e: int) -> tuple:
+        env = {"e": e}
+        return tuple(self._arrays[name][fn(self, env)].item()
+                     for name, fn in self._extra_addr)
+
+    def s2_payload(self, ngh: int, extras: tuple, p_edge):
+        fn = self._s2_fn
+        if fn is None:
+            return p_edge
+        env = {"ngh": ngh, "payload": p_edge}
+        for slot, word in zip(self._s2_slots, extras):
+            env[slot] = int(word)
+        return fn(self, env)
+
+    def s3_update(self, ctx, shard: int, ngh: int, value, p_edge):
+        env = {"ngh": ngh, "payload": p_edge}
+        cond = self._cond_fn
+        if cond is not None and not cond(self, env):
+            return
+        for kind, ref_name, value_fn, dedup in self._update:
+            if kind == "store":
+                self._arrays[ref_name][ngh] = value_fn(self, env)
+                yield ("store", self._refs[ref_name].addr(ngh))
+            else:
+                if dedup:
+                    pending = self._in_next[shard]
+                    if ngh in pending:
+                        continue
+                    pending.add(ngh)
+                yield from self.push_touched(ctx, shard, ngh)
+
+    def at_barrier(self, iteration: int) -> None:
+        if self.plan.uses_epoch:
+            self._epoch += 1
+        if self.plan.needs_dedup:
+            for pending in self._in_next:
+                pending.clear()
+
+    # -- skeleton hooks: stage datapaths --------------------------------
+
+    def vertex_extra_ops(self, b, v_node):
+        plan = self.plan
+        if plan.p0 is None:
+            return b.const(0)
+        bind = {load.vid: (lambda: b.ctrl(v_node))
+                for load in plan.vertex_loads}
+        if self.kernel._vertex is not None:
+            bind[self.kernel._vertex.vid] = v_node
+        return _emit(b, plan.p0, bind, {})
+
+    def s1_extra_edge_ops(self, b, e_next) -> tuple:
+        return tuple(
+            b.lea(b.const(self._refs[load.attr.ref.name].base), e_next)
+            for load in self.plan.edge_extra_loads)
+
+    def s2_extra_ops(self, b, ngh_node):
+        plan = self.plan
+        if plan.s2_value is None:
+            return None
+        bind = {plan.route_load.vid: ngh_node}
+        if plan.p0 is not None:
+            bind[plan.p0.vid] = lambda: b.ctrl(ngh_node)
+        for load in plan.edge_extra_loads:
+            bind[load.vid] = lambda: b.ctrl(ngh_node)
+        return _emit(b, plan.s2_value, bind, {})
+
+    def s3_extra_ops(self, b, value_node, payload_node):
+        plan = self.plan
+        bind = {plan.owner_load.vid: value_node,
+                plan.route_load.vid: (lambda: b.ctrl(value_node))}
+        if plan.s3_payload is not None:
+            bind[plan.s3_payload.vid] = payload_node
+        memo: dict = {}
+        cond = (_emit(b, plan.cond, bind, memo)
+                if plan.cond is not None else None)
+        store = next(s for s in plan.update_ops if s.kind == "store")
+        new = _emit(b, store.value, bind, memo)
+        if cond is None:
+            return new
+        return b.sel(cond, new, value_node)
+
+    def merged_extra_ops(self, b, e_next, ngh_node, payload):
+        plan = self.plan
+        if plan.s2_value is None:
+            return payload
+        bind = {plan.route_load.vid: ngh_node}
+        if plan.p0 is not None:
+            bind[plan.p0.vid] = payload
+        for load in plan.edge_extra_loads:
+            base = self._refs[load.attr.ref.name].base
+            bind[load.vid] = (
+                lambda base=base: b.load(b.lea(b.const(base), e_next)))
+        return _emit(b, plan.s2_value, bind, {})
+
+    # -- program assembly -----------------------------------------------
+
+    def build_program(self, config: SystemConfig, mode: str,
+                      variant: str = "decoupled"):
+        program = super().build_program(config, mode, variant)
+        self._check_wiring(program)
+        return program
+
+    def _check_wiring(self, program) -> None:
+        declared = set(program.external_queues)
+        stages = []
+        drm_consumed, drm_produced = set(), set()
+        for pe_program in program.pe_programs:
+            declared.update(qs.name for qs in pe_program.queue_specs)
+            stages.extend(ss.dfg for ss in pe_program.stage_specs)
+            for drm in pe_program.drm_specs:
+                drm_consumed.add(drm.in_queue)
+                if drm.out_queue:
+                    drm_produced.add(drm.out_queue)
+                drm_produced.update(drm.route_targets or ())
+        external = set(program.external_queues)
+        external.update(self.q("iter", s) for s in range(self.n_shards))
+        check_queue_wiring(stages, declared, drm_consumed=drm_consumed,
+                           drm_produced=drm_produced, external=external)
+
+
+# -- the compiled-pipeline handle ------------------------------------------
+
+def _demo_graph() -> CSRGraph:
+    """A tiny fixed graph used to materialize stage DFGs for display."""
+    n = 8
+    offsets = np.arange(n + 1, dtype=np.int64) * 2
+    neighbors = np.empty(2 * n, dtype=np.int64)
+    for v in range(n):
+        neighbors[2 * v] = (v + 1) % n
+        neighbors[2 * v + 1] = (v + 3) % n
+    return CSRGraph(offsets, neighbors)
+
+
+_STAGE_ROLES = (
+    ("fringe", "S0 process fringe", ("drm_fr (scan)", "drm_off (deref)")),
+    ("enum", "S1 enumerate neighbors", ("drm_ngh (deref)",)),
+    ("fetch", "S2 fetch values", ("drm_val (deref, owner-routed)",)),
+    ("update", "S3 update data / next fringe", ()),
+)
+
+
+class CompiledPipeline:
+    """A kernel that passed split analysis and lint; ready to lower."""
+
+    def __init__(self, kernel: GraphKernel, plan: StagePlan):
+        self.kernel = kernel
+        self.plan = plan
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def workload(self, graph: CSRGraph, n_shards: int,
+                 max_iterations: Optional[int] = None,
+                 **params) -> FrontendWorkload:
+        return FrontendWorkload(self.plan, graph, n_shards, params=params,
+                                max_iterations=max_iterations)
+
+    def build(self, graph: CSRGraph, config: SystemConfig, mode: str,
+              variant: str = "decoupled", **params):
+        """Build a ready-to-run program, like the workloads' ``build``."""
+        n_stages = 4 if variant == "decoupled" else 2
+        workload = self.workload(
+            graph, shards_for_mode(config, mode, n_stages), **params)
+        return workload.build_program(config, mode, variant), workload
+
+    def describe(self) -> dict:
+        """Stage list, queue graph, and per-stage assembly (for the CLI).
+
+        DFGs are materialized on a small fixed graph — node structure is
+        graph-independent; only base-address constants vary.
+        """
+        plan = self.plan
+        workload = self.workload(_demo_graph(), 1)
+        builders = {"fringe": workload._s0_dfg, "enum": workload._s1_dfg,
+                    "fetch": workload._s2_dfg, "update": workload._s3_dfg}
+        stages = []
+        for index, (key, role, drms) in enumerate(_STAGE_ROLES):
+            dfg = builders[key](0)
+            stages.append({
+                "index": index,
+                "name": dfg.name,
+                "role": role,
+                "drms": list(drms),
+                "compute_ops": dfg.n_compute_ops,
+                "depth": dfg.depth,
+                "asm": dfg.to_asm(),
+            })
+        return {
+            "kernel": self.kernel.name,
+            "doc": self.kernel.doc,
+            "params": dict(self.kernel.params),
+            "arrays": [{"name": ref.name, "size": ref.size,
+                        "mutable": ref.mutable, "output": ref.output}
+                       for ref in self.kernel.refs],
+            "split": {
+                "vertex_fetch_words": plan.vertex_fetch_words,
+                "edge_fetch_words": plan.edge_fetch_words,
+                "owner_array": plan.owner_load.attr.ref.name,
+                "payload_across_edge_cut":
+                    plan.p0.label if plan.p0 is not None else None,
+                "payload_across_hop":
+                    (plan.s3_payload.label
+                     if plan.s3_payload is not None else None),
+                "uses_epoch": plan.uses_epoch,
+                "dedup_pushes": plan.needs_dedup,
+            },
+            "stages": stages,
+            "queues": [edge.as_dict() for edge in plan.queue_graph()],
+            "feed_forward": True,
+        }
+
+
+def compile_kernel(kernel: GraphKernel) -> CompiledPipeline:
+    """Split, lint, and prepare ``kernel`` for lowering."""
+    plan = analyze(kernel)
+    return CompiledPipeline(kernel, plan)

@@ -1,0 +1,406 @@
+"""Dependence analysis: split the kernel at every marked load.
+
+This implements the paper's decoupling rule (Sec. 4): the whole-kernel
+dataflow graph is cut at each long-latency load, producing the
+feed-forward stage pipeline of Fig. 4. The cut *depth* of a load is
+1 + the deepest load its index transitively depends on, so for graph
+kernels the cuts land exactly on the four-stage skeleton:
+
+* depth 1 — loads indexed by the active vertex: the CSR bounds
+  ``offsets[v]``/``offsets[v+1]`` plus any vertex-state fetches
+  (serviced by ``drm_fr``/``drm_off``, consumed by S1);
+* depth 2 — loads indexed by the edge induction variable:
+  ``neighbors[e]`` plus any per-edge extras (``drm_ngh``, consumed by
+  S2);
+* depth 3 — the single ``owner=True`` load indexed by the fetched
+  neighbor id: routed to the owner shard (``drm_val``, consumed by S3).
+
+Liveness across each cut determines the channel widths; the analysis
+enforces the calling convention of the generated skeleton (the vertex
+id plus at most one payload word ride along each hop) and rejects
+kernels that need more with actionable errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend.kernel import (FrontendError, GraphKernel, Statement,
+                                   Value)
+from repro.frontend.lint import (check_back_edges, check_edge_escape,
+                                 check_feed_forward, compute_edgy,
+                                 compute_levels, PipelineLintError)
+
+
+@dataclass(frozen=True)
+class QueueEdge:
+    """One channel of the inter-stage queue graph."""
+
+    queue: str
+    src: str
+    dst: str
+    src_stage: int
+    dst_stage: int
+    words: int
+    control: bool = False
+    cross_shard: bool = False
+
+    def as_dict(self) -> dict:
+        return {"queue": self.queue, "src": self.src, "dst": self.dst,
+                "words": self.words, "control": self.control,
+                "cross_shard": self.cross_shard}
+
+
+@dataclass
+class StagePlan:
+    """Everything the lowering pass needs, extracted from one kernel."""
+
+    kernel: GraphKernel
+    level: dict                      # vid -> stage level / cut depth
+    bounds: tuple                    # (offsets[v] load, offsets[v+1] load)
+    vertex_loads: list               # cut-1 state fetches, in vid order
+    route_load: Value                # the neighbors[e] load (route key)
+    edge_extra_loads: list           # cut-2 extras, in vid order
+    owner_load: Value                # the routed cut-3 load
+    p0: Optional[Value]              # vertex-level value crossing cut 2
+    s2_value: Optional[Value]        # edge-level value crossing cut 3
+    s3_payload: Optional[Value]      # == s2_value or p0: the payload word
+    cond: Optional[Value]            # shared when() predicate, if any
+    update_ops: list = field(default_factory=list)  # S3 statements in order
+    uses_epoch: bool = False
+    needs_dedup: bool = False
+
+    @property
+    def vertex_fetch_words(self) -> int:
+        return len(self.vertex_loads)
+
+    @property
+    def edge_fetch_words(self) -> int:
+        return 1 + len(self.edge_extra_loads)
+
+    def queue_graph(self) -> list:
+        """The inter-stage channels with liveness-derived widths."""
+        off_words = 3 + self.vertex_fetch_words
+        ngh_words = 1 + self.edge_fetch_words
+        return [
+            QueueEdge("iter", "control", "S0:fringe", -1, 0, 1,
+                      control=True),
+            QueueEdge("fr_in", "S0:fringe", "drm_fr", 0, 0, 2),
+            QueueEdge("fr_out", "drm_fr", "S0:fringe", 0, 0, 1),
+            QueueEdge("off_in", "S0:fringe", "drm_off", 0, 0, off_words),
+            QueueEdge("off_out", "drm_off", "S1:enum", 0, 1, off_words),
+            QueueEdge("ngh_in", "S1:enum", "drm_ngh", 1, 1, ngh_words),
+            QueueEdge("ngh_out", "drm_ngh", "S2:fetch", 1, 2, ngh_words),
+            QueueEdge("val_in", "S2:fetch", "drm_val", 2, 2, 3),
+            QueueEdge("inbox", "drm_val", "S3:update", 2, 3, 3,
+                      cross_shard=True),
+            QueueEdge("barrier", "S3:update", "control", 3, 4, 2,
+                      control=True),
+        ]
+
+
+def _uses(kernel: GraphKernel) -> dict:
+    """vid -> list of (how, consumer) for every value consumption site."""
+    uses: dict = {v.vid: [] for v in kernel.values}
+    for v in kernel.values:
+        for a in v.args:
+            uses[a.vid].append(("arg", v))
+        if v.op == "edge":
+            for a in v.attr:
+                uses[a.vid].append(("bound", v))
+    for s in kernel.statements:
+        if s.index is not None:
+            uses[s.index.vid].append(("index", s))
+        if s.value is not None:
+            uses[s.value.vid].append(("value", s))
+        for p in s.preds:
+            uses[p.vid].append(("pred", s))
+    return uses
+
+
+def _classify_loads(kernel: GraphKernel, level: dict):
+    """Bucket the marked loads into the three cuts of the skeleton."""
+    name = kernel.name
+    loads = kernel.loads()
+    if not loads:
+        raise FrontendError(f"kernel {name!r} marks no long-latency loads; "
+                            f"there is nothing to decouple")
+    if kernel._edge_var is None:
+        raise FrontendError(f"kernel {name!r} has no edges() loop")
+    edge = kernel._edge_var
+
+    owners = [v for v in loads if v.attr.owner]
+    if not owners:
+        raise FrontendError(
+            f"kernel {name!r} has no owner load; mark the cross-shard "
+            f"access with load(..., owner=True)")
+    if len(owners) > 1:
+        raise FrontendError(
+            f"kernel {name!r}: only one owner-routed load is supported, "
+            f"got {', '.join(v.label for v in owners)}")
+    owner = owners[0]
+    route = owner.args[0]
+    if route.op != "load" or route.attr.ref is not kernel.neighbors:
+        raise FrontendError(
+            f"kernel {name!r}: {owner.label} must be indexed by a "
+            f"neighbors[e] load (the routed neighbor id), not "
+            f"{route.label}")
+
+    start, end = edge.attr
+    for bound, what in ((start, "start"), (end, "end")):
+        if bound.op != "load" or bound.attr.ref is not kernel.offsets:
+            raise FrontendError(
+                f"kernel {name!r}: edges() {what} bound {bound.label} "
+                f"must be an offsets load — the skeleton enumerates CSR "
+                f"ranges offsets[v] .. offsets[v+1]")
+    vertex = kernel._vertex
+    if vertex is None or start.args[0].vid != vertex.vid:
+        raise FrontendError(
+            f"kernel {name!r}: the edges() start bound must be "
+            f"offsets[vertex()]")
+    end_idx = end.args[0]
+    if not (end_idx.op == "add" and
+            {a.op for a in end_idx.args} == {"vertex", "const"} and
+            next(a.attr for a in end_idx.args if a.op == "const") == 1):
+        raise FrontendError(
+            f"kernel {name!r}: the edges() end bound must be "
+            f"offsets[vertex() + 1]")
+
+    vertex_loads, edge_loads = [], []
+    neighbor_loads = []
+    for v in loads:
+        if v is owner or v is start or v is end:
+            continue
+        depth = level[v.vid]
+        if v.attr.ref is kernel.neighbors:
+            neighbor_loads.append(v)
+            continue
+        if depth == 1:
+            if v.attr.ref.builtin:
+                raise FrontendError(
+                    f"kernel {name!r}: {v.label} — extra loads of the CSR "
+                    f"structure are not supported; use edges()")
+            if v.in_edge_loop:
+                raise FrontendError(
+                    f"kernel {name!r}: {v.label} is a vertex-level fetch "
+                    f"issued inside the edge loop; hoist it out of "
+                    f"edges()")
+            vertex_loads.append(v)
+        elif depth == 2:
+            if v.args[0].vid != edge.vid:
+                raise FrontendError(
+                    f"kernel {name!r}: {v.label} must be indexed directly "
+                    f"by the edge variable to ride the edge-fetch channel")
+            edge_loads.append(v)
+        else:
+            raise FrontendError(
+                f"kernel {name!r}: {v.label} at cut depth {depth} — only "
+                f"the owner-routed access may depend on a fetched value")
+
+    if not neighbor_loads:
+        raise FrontendError(
+            f"kernel {name!r}: the edge loop must load neighbors[e]")
+    if len(neighbor_loads) > 1:
+        raise FrontendError(
+            f"kernel {name!r}: only one neighbors[e] load is supported")
+    if neighbor_loads[0] is not route:
+        raise FrontendError(
+            f"kernel {name!r}: {owner.label} must be indexed by the "
+            f"neighbors[e] load")
+    if route.args[0].vid != edge.vid:
+        raise FrontendError(
+            f"kernel {name!r}: {route.label} must be indexed directly by "
+            f"the edge variable")
+
+    vertex_loads.sort(key=lambda v: v.vid)
+    edge_loads.sort(key=lambda v: v.vid)
+    return (start, end), vertex_loads, route, edge_loads, owner
+
+
+def _pick_p0(kernel: GraphKernel, level: dict, uses: dict, bounds,
+             vertex, route, owner) -> Optional[Value]:
+    """The vertex-level value that must ride the edge channel (p0)."""
+    bound_vids = {bounds[0].vid, bounds[1].vid}
+    candidates = []
+    for v in kernel.values:
+        if level[v.vid] > 1 or v.op in ("const", "epoch"):
+            continue
+        if v.vid in bound_vids:
+            continue
+        consumed_later = False
+        for how, consumer in uses[v.vid]:
+            if how == "bound":
+                continue
+            if isinstance(consumer, Value):
+                if consumer.op == "load":
+                    continue  # address generation happens at the load's cut
+                if how == "arg" and level[consumer.vid] >= 2:
+                    consumed_later = True
+            elif consumer.in_edge_loop:  # statements lower to S3
+                consumed_later = True
+        if consumed_later:
+            candidates.append(v)
+    if not candidates:
+        return None
+    if len(candidates) > 1:
+        raise FrontendError(
+            f"kernel {kernel.name!r}: one payload word crosses the edge "
+            f"cut, but {', '.join(v.label for v in candidates)} all need "
+            f"to; fold them into a single value")
+    p0 = candidates[0]
+    if p0.op == "edge" or p0.in_edge_loop:
+        raise FrontendError(
+            f"kernel {kernel.name!r}: {p0.label} varies per edge; only a "
+            f"vertex-level value can cross cut 2 as the payload")
+    return p0
+
+
+def _pick_s2(kernel: GraphKernel, level: dict, uses: dict, route,
+             owner) -> Optional[Value]:
+    """The edge-level value crossing the cross-shard hop, if any."""
+    candidates = []
+    for v in kernel.values:
+        if level[v.vid] != 2 or v.op in ("const", "epoch"):
+            continue
+        if v.vid == route.vid:
+            continue  # the route key has its own word
+        consumed_at_3 = False
+        for how, consumer in uses[v.vid]:
+            if isinstance(consumer, Value):
+                if consumer.op == "load" and consumer.attr.owner:
+                    continue  # owner address generation
+                if how == "arg" and level[consumer.vid] >= 3:
+                    consumed_at_3 = True
+            else:
+                if how == "index" or (how == "value" and
+                                      consumer.kind == "push"):
+                    continue  # route-key positions, validated separately
+                consumed_at_3 = True
+        if consumed_at_3:
+            candidates.append(v)
+    if not candidates:
+        return None
+    if len(candidates) > 1:
+        raise FrontendError(
+            f"kernel {kernel.name!r}: one payload word crosses the "
+            f"cross-shard hop, but "
+            f"{', '.join(v.label for v in candidates)} all need to; fold "
+            f"them into a single value")
+    return candidates[0]
+
+
+def _first_unreachable(v: Value, allowed: set) -> Optional[Value]:
+    """The first leaf under ``v`` not available at the update stage."""
+    if v.vid in allowed or v.op in ("const", "epoch"):
+        return None
+    if v.op in ("load", "vertex", "edge"):
+        return v
+    for a in v.args:
+        leaf = _first_unreachable(a, allowed)
+        if leaf is not None:
+            return leaf
+    return None
+
+
+def _check_s3_liveness(kernel: GraphKernel, plan: StagePlan) -> None:
+    """Update-stage expressions may use only what crosses the hop."""
+    allowed = {plan.owner_load.vid, plan.route_load.vid}
+    if plan.s3_payload is not None:
+        allowed.add(plan.s3_payload.vid)
+    payload = (plan.s3_payload.label if plan.s3_payload is not None
+               else "none")
+
+    def walk(expr: Value, where: str) -> None:
+        leaf = _first_unreachable(expr, allowed)
+        if leaf is not None:
+            raise PipelineLintError(
+                f"kernel {kernel.name!r}: {where} uses {leaf.label}, "
+                f"which is not live across the cross-shard hop into the "
+                f"update stage; only the routed neighbor id and one "
+                f"payload word cross (currently: {payload})")
+
+    if plan.cond is not None:
+        walk(plan.cond, "the when() predicate")
+    for s in plan.update_ops:
+        if s.kind == "store":
+            walk(s.value, s.label)
+
+
+def _collect_update(kernel: GraphKernel, plan: StagePlan) -> None:
+    """Validate and order the update-stage side effects."""
+    name = kernel.name
+    route_vid = plan.route_load.vid
+    stmts = [s for s in kernel.statements if s.in_edge_loop]
+    leftovers = [s for s in kernel.statements if not s.in_edge_loop]
+    if leftovers:
+        raise FrontendError(
+            f"kernel {name!r}: {leftovers[0].label} outside the edge loop "
+            f"— vertex-context side effects are not supported by the "
+            f"4-stage skeleton")
+    if not any(s.kind == "store" for s in stmts):
+        raise FrontendError(
+            f"kernel {name!r}: the update stage needs at least one store")
+    pred_vids = tuple(p.vid for p in stmts[0].preds)
+    for s in stmts:
+        if tuple(p.vid for p in s.preds) != pred_vids:
+            raise FrontendError(
+                f"kernel {name!r}: {s.label} is predicated differently "
+                f"from {stmts[0].label}; all updates must share one "
+                f"when() block")
+    if len(pred_vids) > 1:
+        raise FrontendError(
+            f"kernel {name!r}: nested when() blocks are not supported; "
+            f"combine the conditions into a single predicate")
+    plan.cond = stmts[0].preds[0] if pred_vids else None
+    for s in stmts:
+        if s.kind == "store":
+            if s.index.vid != route_vid:
+                raise FrontendError(
+                    f"kernel {name!r}: {s.label} must index the "
+                    f"owner-routed vertex ({plan.route_load.label}); "
+                    f"got {s.index.label}")
+            if s.ref is not plan.owner_load.attr.ref:
+                # already vetted by check_back_edges when the ref is
+                # read elsewhere; a write to a never-read array still
+                # has no DRM to route it.
+                raise FrontendError(
+                    f"kernel {name!r}: {s.label} writes {s.ref.name!r}, "
+                    f"but only the owner-routed array "
+                    f"({plan.owner_load.attr.ref.name!r}) can be written "
+                    f"at the update stage")
+        else:
+            if s.value.vid != route_vid:
+                raise FrontendError(
+                    f"kernel {name!r}: {s.label} must push the routed "
+                    f"neighbor id ({plan.route_load.label}); got "
+                    f"{s.value.label}")
+    plan.update_ops = stmts
+    plan.needs_dedup = any(s.kind == "push" and s.dedup for s in stmts)
+
+
+def analyze(kernel: GraphKernel) -> StagePlan:
+    """Run the full split analysis; lint; return the stage plan."""
+    level = compute_levels(kernel)
+    edgy = compute_edgy(kernel)
+    check_edge_escape(kernel, edgy)
+
+    bounds, vertex_loads, route, edge_loads, owner = _classify_loads(
+        kernel, level)
+    check_back_edges(kernel, owner.attr.ref, level)
+
+    uses = _uses(kernel)
+    p0 = _pick_p0(kernel, level, uses, bounds, kernel._vertex, route, owner)
+    s2_value = _pick_s2(kernel, level, uses, route, owner)
+    s3_payload = s2_value if s2_value is not None else p0
+
+    plan = StagePlan(
+        kernel=kernel, level=level, bounds=bounds,
+        vertex_loads=vertex_loads, route_load=route,
+        edge_extra_loads=edge_loads, owner_load=owner,
+        p0=p0, s2_value=s2_value, s3_payload=s3_payload, cond=None,
+        uses_epoch=kernel._epoch is not None)
+    _collect_update(kernel, plan)
+    _check_s3_liveness(kernel, plan)
+    check_feed_forward(kernel.name, plan.queue_graph())
+    return plan

@@ -34,8 +34,9 @@ from repro.workloads import prdelta as prd_mod
 from repro.workloads import radii as radii_mod
 from repro.workloads import silo as silo_mod
 from repro.workloads import spmm as spmm_mod
+from repro.workloads import sssp as sssp_mod
 
-GRAPH_APPS = ("bfs", "cc", "prd", "radii")
+GRAPH_APPS = ("bfs", "cc", "prd", "radii", "sssp")
 SYSTEMS = ("serial", "multicore", "static", "fifer")
 
 APP_INPUTS = {
@@ -43,6 +44,7 @@ APP_INPUTS = {
     "cc": ("Hu", "Dy", "Ci", "In", "Rd"),
     "prd": ("Hu", "Dy", "Ci", "In", "Rd"),
     "radii": ("Hu", "Dy", "Ci", "In", "Rd"),
+    "sssp": ("Hu", "Dy", "Ci", "In", "Rd"),
     "spmm": ("FS", "Gr", "GE", "EM", "FD", "St"),
     "silo": ("YC",),
 }
@@ -61,6 +63,8 @@ INPUT_SCALES = {
     ("prd", "Rd"): 0.5,
     ("radii", "Dy"): 0.6,
     ("radii", "Rd"): 0.5,
+    ("sssp", "Dy"): 0.6,
+    ("sssp", "Rd"): 0.5,
 }
 # The paper samples a subset of iterations for PRD and Radii (Sec. 7.2).
 PRD_MAX_ITERATIONS = 8
@@ -123,6 +127,7 @@ def prepare_input(app: str, code: str, scale: Optional[float] = None,
             "radii": lambda: radii_mod.radii_reference(
                 graph, k=RADII_SOURCES,
                 max_iterations=RADII_MAX_ITERATIONS),
+            "sssp": lambda: sssp_mod.sssp_reference(graph, 0),
         }[app]()
         return PreparedInput(app, code, graph, golden)
     if app == "spmm":
@@ -180,6 +185,8 @@ def _ooo_kernel(prepared: PreparedInput, n_cores: int):
         return kernels.bfs_kernel(data, 0, n_cores)
     if app == "cc":
         return kernels.cc_kernel(data, n_cores)
+    if app == "sssp":
+        return kernels.sssp_kernel(data, 0, n_cores)
     if app == "prd":
         n = data.n_vertices
         return kernels.prd_kernel(data, n_cores, prd_mod.DAMPING,

@@ -7,9 +7,11 @@ what the mapper places onto the CGRA fabric.
 """
 
 from repro.ir.ops import Op, OpKind, OP_INFO
-from repro.ir.dfg import DataflowGraph, DFGError, Node
+from repro.ir.dfg import (DataflowGraph, DFGError, Node,
+                          check_queue_wiring)
 from repro.ir.builder import DFGBuilder
 from repro.ir.asmparse import AsmParseError, parse_stage_asm
 
 __all__ = ["Op", "OpKind", "OP_INFO", "DataflowGraph", "DFGError", "Node",
-           "DFGBuilder", "AsmParseError", "parse_stage_asm"]
+           "DFGBuilder", "AsmParseError", "parse_stage_asm",
+           "check_queue_wiring"]

@@ -17,10 +17,14 @@ that pseudo-assembly dialect directly into a
     blt   %nxt,  %end
 
 Syntax: one instruction per line; ``%name`` are SSA values, ``$name``
-are queues, bare tokens are integer immediates (decimal or 0x hex);
-``;`` or ``#`` start comments. ``mov`` with an immediate is a
+are queues, bare tokens are immediates (decimal, 0x hex, or floating
+point); ``;`` or ``#`` start comments. ``mov`` with an immediate is a
 configuration-time constant; ``reg %r`` declares a loop-carried
-register whose input is connected with ``setreg %r, %value``.
+register whose input is connected with ``setreg %r, %value``; ``lea``
+accepts an optional fourth scale immediate (default 8); ``ctrl``
+steers a control value. :meth:`~repro.ir.dfg.DataflowGraph.to_asm`
+prints this dialect, and parsing its output reconstructs an isomorphic
+graph (the round-trip is tested for every workload stage).
 """
 
 from __future__ import annotations
@@ -63,9 +67,12 @@ def parse_stage_asm(name: str, text: str) -> DataflowGraph:
         try:
             literal = int(token, 0)
         except ValueError:
-            raise AsmParseError(
-                f"{name}:{line_no}: expected %value or immediate, got "
-                f"{token!r}") from None
+            try:
+                literal = float(token)
+            except ValueError:
+                raise AsmParseError(
+                    f"{name}:{line_no}: expected %value or immediate, got "
+                    f"{token!r}") from None
         return builder.const(literal)
 
     def define(token: str, node, line_no: int):
@@ -104,9 +111,22 @@ def parse_stage_asm(name: str, text: str) -> DataflowGraph:
             arity(2)
             define(args[0], value(args[1], line_no), line_no)
         elif op == "lea":
-            arity(3)
+            if len(args) not in (3, 4):
+                raise AsmParseError(
+                    f"{name}:{line_no}: lea takes a destination, base, "
+                    f"index, and optional scale, got {len(args)} operands")
+            if len(args) == 4:
+                try:
+                    scale = int(args[3], 0)
+                except ValueError:
+                    raise AsmParseError(
+                        f"{name}:{line_no}: lea scale must be an integer "
+                        f"immediate, got {args[3]!r}") from None
+            else:
+                scale = 8
             define(args[0], builder.lea(value(args[1], line_no),
-                                        value(args[2], line_no)), line_no)
+                                        value(args[2], line_no),
+                                        scale=scale), line_no)
         elif op == "ld":
             arity(2)
             define(args[0], builder.load(value(args[1], line_no)), line_no)
@@ -139,6 +159,9 @@ def parse_stage_asm(name: str, text: str) -> DataflowGraph:
             define(args[0], builder.fma(value(args[1], line_no),
                                         value(args[2], line_no),
                                         value(args[3], line_no)), line_no)
+        elif op == "ctrl":
+            arity(2)
+            define(args[0], builder.ctrl(value(args[1], line_no)), line_no)
         elif op == "reg":
             arity(1)
             define(args[0], builder.reg(args[0][1:]), line_no)

@@ -18,8 +18,10 @@ class DFGBuilder:
     def __init__(self, name: str):
         self.graph = DataflowGraph(name)
 
-    def finish(self) -> DataflowGraph:
-        self.graph.validate()
+    def finish(self, strict: bool = False) -> DataflowGraph:
+        """Validate and return the graph; ``strict`` also rejects
+        dangling nodes (see :meth:`DataflowGraph.validate`)."""
+        self.graph.validate(strict=strict)
         return self.graph
 
     # -- fabric edges --------------------------------------------------

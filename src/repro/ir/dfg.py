@@ -64,6 +64,10 @@ class DataflowGraph:
             raise DFGError(f"{reg!r} is not a REG node")
         if value not in self.nodes:
             raise DFGError(f"{value!r} is not in graph {self.name!r}")
+        if reg.operands:
+            raise DFGError(
+                f"stage {self.name!r}: register {reg!r} is multiply "
+                f"driven (already connected to {reg.operands[0]!r})")
         reg.operands = (value,)
 
     # -- queries -----------------------------------------------------------
@@ -101,11 +105,38 @@ class DataflowGraph:
             return ()
         return node.operands
 
-    def validate(self) -> None:
-        """Check the graph is feed-forward apart from REG back-edges."""
+    # Kinds whose result may legitimately go unconsumed: queue and
+    # memory edges are sinks, comparisons drive (implicit) predication,
+    # CTRL steers a token that the datapath may ignore, and a REG can be
+    # written without being read back this stage.
+    _SINK_KINDS = frozenset((OpKind.DEQ, OpKind.ENQ, OpKind.ST, OpKind.REG,
+                             OpKind.CMP_LT, OpKind.CMP_EQ, OpKind.CTRL))
+
+    def validate(self, strict: bool = False) -> None:
+        """Check the graph is feed-forward apart from REG back-edges.
+
+        With ``strict=True``, additionally reject dangling nodes: any
+        value-producing node whose result no other node consumes (REG
+        back-edge operands count as consumption). Hand-authored toy
+        graphs may leave sinks unconsumed, so strictness is opt-in; the
+        workload pipelines and the front-end lowering always use it.
+        """
         if not self.nodes:
             raise DFGError(f"graph {self.name!r} is empty")
         self.levels()  # raises on cycles
+        if not strict:
+            return
+        consumed = set()
+        for node in self.nodes:
+            for operand in node.operands:
+                consumed.add(operand.node_id)
+        for node in self.nodes:
+            if node.kind in self._SINK_KINDS:
+                continue
+            if node.node_id not in consumed:
+                raise DFGError(
+                    f"stage {self.name!r}: dangling node {node!r} — its "
+                    f"result is never consumed")
 
     def levels(self) -> list[list[Node]]:
         """ASAP levelization: level of a node = 1 + max(level of operands).
@@ -156,3 +187,106 @@ class DataflowGraph:
             attr = f" ${node.op.attr}" if node.op.attr is not None else ""
             lines.append(f"  %n{node.node_id} = {node.kind.value}{attr} {ops}".rstrip())
         return f"{self.name}:\n" + "\n".join(lines)
+
+    _ASM_BINARY = {
+        OpKind.ADD: "add", OpKind.SUB: "sub", OpKind.MUL: "mul",
+        OpKind.AND: "and", OpKind.OR: "or", OpKind.XOR: "xor",
+        OpKind.SHL: "shl", OpKind.SHR: "shr",
+        OpKind.CMP_LT: "cmplt", OpKind.CMP_EQ: "cmpeq",
+        OpKind.FADD: "fadd", OpKind.FMUL: "fmul",
+    }
+
+    def to_asm(self) -> str:
+        """Render in :func:`repro.ir.asmparse.parse_stage_asm`'s dialect.
+
+        Parsing the result back yields an isomorphic graph: the same
+        node sequence, operand edges, and attributes (REG debug names
+        excepted). ``setreg`` lines are emitted last so loop-carried
+        inputs defined after their register still resolve.
+        """
+        lines = []
+        setregs = []
+
+        def ref(node: Node) -> str:
+            return f"%n{node.node_id}"
+
+        for node in self.nodes:
+            kind, ops = node.kind, node.operands
+            if kind is OpKind.DEQ:
+                lines.append(f"deq {ref(node)}, ${node.op.attr}")
+            elif kind is OpKind.ENQ:
+                lines.append(f"enq ${node.op.attr}, {ref(ops[0])}")
+            elif kind is OpKind.CONST:
+                lines.append(f"mov {ref(node)}, {node.op.attr!r}")
+            elif kind is OpKind.REG:
+                lines.append(f"reg {ref(node)}")
+                if ops:
+                    setregs.append(f"setreg {ref(node)}, {ref(ops[0])}")
+            elif kind is OpKind.LEA:
+                scale = "" if node.op.attr == 8 else f", {node.op.attr}"
+                lines.append(
+                    f"lea {ref(node)}, {ref(ops[0])}, {ref(ops[1])}{scale}")
+            elif kind is OpKind.LD:
+                lines.append(f"ld {ref(node)}, {ref(ops[0])}")
+            elif kind is OpKind.ST:
+                lines.append(f"st {ref(ops[0])}, {ref(ops[1])}")
+            elif kind is OpKind.SEL:
+                lines.append(f"sel {ref(node)}, {ref(ops[0])}, "
+                             f"{ref(ops[1])}, {ref(ops[2])}")
+            elif kind is OpKind.FMA:
+                lines.append(f"fma {ref(node)}, {ref(ops[0])}, "
+                             f"{ref(ops[1])}, {ref(ops[2])}")
+            elif kind is OpKind.CTRL:
+                lines.append(f"ctrl {ref(node)}, {ref(ops[0])}")
+            elif kind in self._ASM_BINARY:
+                lines.append(f"{self._ASM_BINARY[kind]} {ref(node)}, "
+                             f"{ref(ops[0])}, {ref(ops[1])}")
+            else:  # pragma: no cover - OpKind is closed
+                raise DFGError(f"cannot print {node!r} as pseudo-assembly")
+        return "\n".join(lines + setregs) + "\n"
+
+
+def check_queue_wiring(stages: Iterable[DataflowGraph],
+                       declared: Iterable[str],
+                       drm_consumed: Iterable[str] = (),
+                       drm_produced: Iterable[str] = (),
+                       external: Iterable[str] = ()) -> None:
+    """Cross-stage ENQ/DEQ consistency for a set of stage graphs.
+
+    ``declared`` are the queue names the program allocates; DRMs consume
+    ``drm_consumed`` and produce ``drm_produced``; ``external`` queues
+    are fed or drained outside the fabric (the control core's iteration
+    queues, the barrier). Raises :class:`DFGError` naming the offending
+    node and stage when a fabric edge references an undeclared queue, or
+    when a declared queue has a consumer but no producer (or vice
+    versa) — instead of the mapper or a hung simulation finding out.
+    """
+    stages = list(stages)
+    declared = set(declared)
+    external = set(external)
+    produced = set(drm_produced) | external
+    consumed = set(drm_consumed) | external
+    for stage in stages:
+        for node in stage.nodes:
+            if node.kind is OpKind.ENQ:
+                if node.op.attr not in declared:
+                    raise DFGError(
+                        f"stage {stage.name!r}: {node!r} enqueues to "
+                        f"undeclared queue {node.op.attr!r}")
+                produced.add(node.op.attr)
+            elif node.kind is OpKind.DEQ:
+                if node.op.attr not in declared:
+                    raise DFGError(
+                        f"stage {stage.name!r}: {node!r} dequeues from "
+                        f"undeclared queue {node.op.attr!r}")
+                consumed.add(node.op.attr)
+    for stage in stages:
+        for node in stage.nodes:
+            if node.kind is OpKind.DEQ and node.op.attr not in produced:
+                raise DFGError(
+                    f"stage {stage.name!r}: {node!r} dequeues from "
+                    f"{node.op.attr!r}, which no stage or DRM produces")
+            if node.kind is OpKind.ENQ and node.op.attr not in consumed:
+                raise DFGError(
+                    f"stage {stage.name!r}: {node!r} enqueues to "
+                    f"{node.op.attr!r}, which no stage or DRM consumes")

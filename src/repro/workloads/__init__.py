@@ -1,9 +1,11 @@
-"""The six evaluated workloads (paper Sec. 7.2).
+"""The evaluated workloads (paper Sec. 7.2).
 
-Graph analytics (BFS, CC, PageRank-Delta, Radii) share the four-stage
-push pipeline of Fig. 2(a)/Fig. 10; SpMM uses the merge-intersect
-pipeline of Fig. 12(a); Silo uses the B+tree lookup pipeline of
-Fig. 12(b). Every workload module provides:
+Graph analytics (BFS, CC, PageRank-Delta, Radii, SSSP) share the
+four-stage push pipeline of Fig. 2(a)/Fig. 10; SpMM uses the
+merge-intersect pipeline of Fig. 12(a); Silo uses the B+tree lookup
+pipeline of Fig. 12(b). SSSP's pipeline is generated from an annotated
+kernel by the decoupling front-end (:mod:`repro.frontend`) rather than
+written by hand. Every workload module provides:
 
 * a pipeline-parallel :class:`~repro.core.program.Program` builder with
   ``decoupled`` (fully split) and ``merged`` (Fig. 17) variants,
@@ -20,6 +22,7 @@ _MODULES = {
     "cc": "repro.workloads.cc",
     "prd": "repro.workloads.prdelta",
     "radii": "repro.workloads.radii",
+    "sssp": "repro.workloads.sssp",
     "spmm": "repro.workloads.spmm",
     "silo": "repro.workloads.silo",
 }

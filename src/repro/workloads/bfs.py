@@ -71,6 +71,13 @@ class BFSWorkload(GraphPipelineWorkload):
     def result(self) -> np.ndarray:
         return self.distances
 
+    def s3_extra_ops(self, b, value_node, payload_node):
+        # distances[ngh] < 0 ? current_distance : distances[ngh]; the
+        # iteration counter is a configuration-time constant and the
+        # edge payload is unused (BFS pushes no per-edge value).
+        unvisited = b.lt(value_node, b.const(0))
+        return b.sel(unvisited, b.const(0), value_node)
+
 
 def build(graph: CSRGraph, config, mode: str, variant: str = "decoupled",
           source: int = 0):

@@ -32,6 +32,12 @@ Per-workload hooks:
   Runs on the owner shard at S1.
 * ``s1_edge_payload(v, start, end, p0)`` — payload attached to each
   edge (pure; e.g. PageRank-Delta divides by the out-degree).
+* ``edge_extra_addrs(e)`` / ``edge_extra_values(e)`` — extra per-edge
+  words (``edge_fetch_words - 1`` of them) fetched by ``drm_ngh``
+  alongside ``neighbors[e]`` (e.g. SSSP's edge weights).
+* ``s2_payload(ngh, extras, p_edge)`` — combines the per-edge payload
+  with the extra fetched words into the value sent across the
+  cross-shard hop (pure; identity by default).
 * ``s3_update(ctx, shard, ngh, value, p_edge)`` — destination-side
   update; calls ``push_touched`` to extend the next fringe.
 
@@ -86,6 +92,9 @@ class GraphPipelineWorkload:
     name = "graph"
     # Number of per-vertex state words drm_off fetches with the offsets.
     vertex_fetch_words = 0
+    # Words drm_ngh fetches per edge: neighbors[e] plus any extra
+    # per-edge state (edge weights etc.).
+    edge_fetch_words = 1
     # Optional cap on dispatched iterations (the paper samples a subset
     # of iterations for PageRank-Delta and Radii, Sec. 7.2).
     max_iterations: Optional[int] = None
@@ -152,6 +161,18 @@ class GraphPipelineWorkload:
     def s1_edge_payload(self, v: int, start: int, end: int, p0):
         return p0
 
+    def edge_extra_addrs(self, e: int) -> tuple:
+        """Addresses of extra per-edge words (``edge_fetch_words - 1``)."""
+        return ()
+
+    def edge_extra_values(self, e: int) -> tuple:
+        """Values of the extra per-edge words (merged variant's loads)."""
+        return ()
+
+    def s2_payload(self, ngh: int, extras: tuple, p_edge):
+        """Fold ``drm_ngh``'s extra fetched words into the hop payload."""
+        return p_edge
+
     def s3_update(self, ctx, shard: int, ngh: int, value, p_edge):
         raise NotImplementedError
 
@@ -168,6 +189,19 @@ class GraphPipelineWorkload:
     def s3_extra_ops(self, b: DFGBuilder, value_node, payload_node):
         """Datapath ops of ``s3_update`` (for the S3 mapping)."""
         return b.add(value_node, payload_node)
+
+    def s1_extra_edge_ops(self, b: DFGBuilder, e_next) -> tuple:
+        """Address nodes of the extra per-edge fetches (S1 mapping)."""
+        return ()
+
+    def s2_extra_ops(self, b: DFGBuilder, ngh_node):
+        """Datapath combining the hop payload at S2; ``None`` means the
+        payload passes through untouched."""
+        return None
+
+    def merged_extra_ops(self, b: DFGBuilder, e_next, ngh_node, payload):
+        """Merged-variant payload datapath (coupled extra edge loads)."""
+        return payload
 
     # -- next-fringe management ----------------------------------------------
 
@@ -261,6 +295,10 @@ class GraphPipelineWorkload:
         neighbors_addr = self.neighbors_ref.addr
         off_out = self.q("off_out", shard)
         ngh_in = self.q("ngh_in", shard)
+        # Workloads with edge state take the general path; the common
+        # single-word case keeps the tight per-edge loop.
+        simple = self.edge_fetch_words == 1
+        extra_addrs = self.edge_extra_addrs
 
         def run(ctx):
             while True:
@@ -276,8 +314,15 @@ class GraphPipelineWorkload:
                 if p0 is None:
                     continue
                 p_edge = self.s1_edge_payload(v, start, end, p0)
-                for e in range(start, end):
-                    yield ("enq", ngh_in, (neighbors_addr(e), p_edge), False)
+                if simple:
+                    for e in range(start, end):
+                        yield ("enq", ngh_in,
+                               (neighbors_addr(e), p_edge), False)
+                else:
+                    for e in range(start, end):
+                        yield ("enq", ngh_in,
+                               (neighbors_addr(e), *extra_addrs(e), p_edge),
+                               False)
 
         return run
 
@@ -285,6 +330,8 @@ class GraphPipelineWorkload:
         value_addr = self.value_addr
         ngh_out = self.q("ngh_out", shard)
         val_in = self.q("val_in", shard)
+        simple = self.edge_fetch_words == 1
+        s2_payload = self.s2_payload
 
         def run(ctx):
             while True:
@@ -294,9 +341,17 @@ class GraphPipelineWorkload:
                     if token.value == STOP_VALUE:
                         return
                     continue
-                ngh, p_edge = token.value
-                ngh = int(ngh)
-                yield ("enq", val_in, (value_addr(ngh), ngh, p_edge), False)
+                if simple:
+                    ngh, p_edge = token.value
+                    ngh = int(ngh)
+                    yield ("enq", val_in,
+                           (value_addr(ngh), ngh, p_edge), False)
+                else:
+                    parts = token.value
+                    ngh = int(parts[0])
+                    p_out = s2_payload(ngh, parts[1:-1], parts[-1])
+                    yield ("enq", val_in,
+                           (value_addr(ngh), ngh, p_out), False)
 
         return run
 
@@ -345,7 +400,7 @@ class GraphPipelineWorkload:
         b.enq(self.q("off_in", shard), v)
         # Scan ranges for the fringe DRM.
         b.enq(self.q("fr_in", shard), v)
-        return b.finish()
+        return b.finish(strict=True)
 
     def _s1_dfg(self, shard: int):
         b = DFGBuilder(self.stage_name("enum", shard))
@@ -358,9 +413,12 @@ class GraphPipelineWorkload:
         b.set_reg(e, e_next)
         addr = b.lea(base, e_next)
         b.lt(e_next, token)  # end-of-edge-list test
+        extras = self.s1_extra_edge_ops(b, e_next)
         b.enq(self.q("ngh_in", shard), addr)
+        for extra in extras:
+            b.enq(self.q("ngh_in", shard), extra)
         b.enq(self.q("ngh_in", shard), payload)
-        return b.finish()
+        return b.finish(strict=True)
 
     def _s2_dfg(self, shard: int):
         b = DFGBuilder(self.stage_name("fetch", shard))
@@ -369,7 +427,10 @@ class GraphPipelineWorkload:
         addr = b.lea(base, ngh)
         b.enq(self.q("val_in", shard), addr)
         b.enq(self.q("val_in", shard), ngh)
-        return b.finish()
+        combined = self.s2_extra_ops(b, ngh)
+        if combined is not None:
+            b.enq(self.q("val_in", shard), combined)
+        return b.finish(strict=True)
 
     def _s3_dfg(self, shard: int):
         b = DFGBuilder(self.stage_name("update", shard))
@@ -383,7 +444,7 @@ class GraphPipelineWorkload:
         b.set_reg(slot, slot_next)
         addr = b.lea(fringe_base, slot_next)
         b.store(addr, updated)
-        return b.finish()
+        return b.finish(strict=True)
 
     # -- program assembly --------------------------------------------------------
 
@@ -391,6 +452,7 @@ class GraphPipelineWorkload:
         """All queues of one shard, keyed by placement group."""
         q = self.q
         off_words = 3 + self.vertex_fetch_words
+        ngh_words = 1 + self.edge_fetch_words
         inbox_producers = tuple(
             f"{self.name}.drm_val@{s}" for s in range(self.n_shards))
         # Edge-carrying queues get larger static shares: they see ~deg
@@ -404,8 +466,10 @@ class GraphPipelineWorkload:
                 QueueSpec(q("off_in", shard), entry_words=off_words),
             ],
             "s1": [QueueSpec(q("off_out", shard), entry_words=off_words),
-                   QueueSpec(q("ngh_in", shard), entry_words=2, weight=2.0)],
-            "s2": [QueueSpec(q("ngh_out", shard), entry_words=2, weight=2.0),
+                   QueueSpec(q("ngh_in", shard), entry_words=ngh_words,
+                             weight=2.0)],
+            "s2": [QueueSpec(q("ngh_out", shard), entry_words=ngh_words,
+                             weight=2.0),
                    QueueSpec(q("val_in", shard), entry_words=3, weight=2.0)],
             "s3": [QueueSpec(q("inbox", shard), entry_words=3, weight=2.0,
                              producers=inbox_producers)],
@@ -436,7 +500,7 @@ class GraphPipelineWorkload:
             "s1": [DRMSpec(f"{self.name}.drm_ngh@{shard}", "deref",
                            in_queue=q("ngh_in", shard),
                            out_queue=q("ngh_out", shard),
-                           width=1, payload=True)],
+                           width=self.edge_fetch_words, payload=True)],
             "s2": [DRMSpec(f"{self.name}.drm_val@{shard}", "deref",
                            in_queue=q("val_in", shard),
                            route=self._route_fn(),
@@ -503,6 +567,10 @@ class GraphPipelineWorkload:
         graph = self.graph
         offsets = self.offsets_ref
         neighbors = self.neighbors_ref
+        simple = self.edge_fetch_words == 1
+        extra_addrs = self.edge_extra_addrs
+        extra_values = self.edge_extra_values
+        s2_payload = self.s2_payload
 
         def run(ctx):
             while True:
@@ -532,9 +600,17 @@ class GraphPipelineWorkload:
                     for e in range(start, end):
                         yield from ctx.load(neighbors.addr(e))
                         ngh = int(graph.neighbors[e])
-                        yield from ctx.enq(
-                            q("val_in", shard),
-                            (self.value_addr(ngh), ngh, p_edge))
+                        if simple:
+                            yield from ctx.enq(
+                                q("val_in", shard),
+                                (self.value_addr(ngh), ngh, p_edge))
+                        else:
+                            for addr in extra_addrs(e):
+                                yield from ctx.load(addr)
+                            yield from ctx.enq(
+                                q("val_in", shard),
+                                (self.value_addr(ngh), ngh,
+                                 s2_payload(ngh, extra_values(e), p_edge)))
                 yield from ctx.enq(q("val_in", shard), END_ITER,
                                    is_control=True)
 
@@ -562,9 +638,10 @@ class GraphPipelineWorkload:
         vaddr = b.lea(b.const(0), ngh)
         b.enq(self.q("val_in", shard), vaddr)
         b.enq(self.q("val_in", shard), ngh)
-        b.enq(self.q("val_in", shard), payload)
+        b.enq(self.q("val_in", shard),
+              self.merged_extra_ops(b, e_next, ngh, payload))
         b.lt(start, end)
-        return b.finish()
+        return b.finish(strict=True)
 
     def _build_merged(self, config: SystemConfig, mode: str) -> Program:
         groups = ("m", "s3")

@@ -43,7 +43,7 @@ class TestConfig:
 
 class TestHarnessPlumbing:
     def test_registered_inputs(self):
-        assert set(APP_INPUTS) == {"bfs", "cc", "prd", "radii",
+        assert set(APP_INPUTS) == {"bfs", "cc", "prd", "radii", "sssp",
                                    "spmm", "silo"}
         assert all(len(v) >= 1 for v in APP_INPUTS.values())
 
