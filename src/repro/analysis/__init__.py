@@ -1,0 +1,23 @@
+"""Static pipeline verification and runtime sanitizing (``repro lint``).
+
+The package runs over a compiled :class:`~repro.core.program.Program`
+*before* simulation: channel-graph extraction and queue/deadlock
+analysis (:mod:`repro.analysis.graph`, :mod:`repro.analysis.deadlock`),
+per-stage DFG dataflow passes (:mod:`repro.analysis.dfg_passes`), and
+an armable runtime sanitizer (:mod:`repro.analysis.sanitize`) that
+dynamically enforces the same invariants the static passes certify.
+See ``docs/analysis.md`` for the pass catalog.
+"""
+
+from repro.analysis.report import (AnalysisError, AnalysisReport,  # noqa: F401
+                                   Finding)
+from repro.analysis.graph import (CONTROL_CORE, Channel,  # noqa: F401
+                                  ChannelGraph, Endpoint,
+                                  build_channel_graph, classify_edge,
+                                  find_cycle_within,
+                                  strongly_connected_components)
+from repro.analysis.deadlock import analyze_deadlock  # noqa: F401
+from repro.analysis.dfg_passes import analyze_stage  # noqa: F401
+from repro.analysis.sanitize import (SanitizerError,  # noqa: F401
+                                     SimulationSanitizer)
+from repro.analysis.verify import analyze_program  # noqa: F401

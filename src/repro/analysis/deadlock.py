@@ -1,0 +1,303 @@
+"""Queue/deadlock analysis over the channel graph.
+
+A Fifer program is deadlock-free when (paper Secs. 4, 5.5-5.6):
+
+* every channel has both a producer and a consumer (latency-insensitive
+  channels drain);
+* every enqueuer of a credited (multi-producer) channel holds a credit
+  share of at least one entry — the Sec. 5.6 flow-control invariant;
+* the per-PE queue memory actually hosts all declared queues at their
+  floor sizes (one entry per producer each);
+* the stage/queue wait graph is acyclic once the control core's
+  iteration loop and bounded stage↔DRM round trips are factored out.
+
+Temporal multiplexing (several stages sharing a PE, Sec. 5.2) does not
+add wait edges: the block-driven scheduler switches away from a blocked
+stage, so co-resident stages cannot hold the fabric while waiting on
+each other. That assumption is recorded in the certificate.
+
+The worst-case in-flight bound per channel is simply its carved
+capacity in words — queue memory is the only token store (DRMs admit a
+request only when the response queue can accept it, so they hold no
+hidden tokens) — split per producer into credit shares when flow
+control is on. The analysis checks those bounds are achievable
+(capacity >= floor, share >= entry) and flags response queues too
+shallow to cover a DRM's ``max_outstanding`` window, which throttles
+memory-level parallelism without deadlocking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.analysis.graph import (ChannelGraph,
+                                  strongly_connected_components,
+                                  find_cycle_within)
+from repro.analysis.report import Finding
+
+_ASSUMPTIONS = (
+    "block-driven scheduling: a blocked stage yields the fabric, so "
+    "temporally-multiplexed stages on one PE add no wait edges",
+    "DRMs are flow-controlled: a request is admitted only when the "
+    "response channel can accept its result, so DRMs hold no tokens",
+    "stage<->DRM round trips are bounded by the response channel "
+    "capacity and do not constitute cyclic waits",
+    "control channels close the iteration loop only through the "
+    "control core, which always drains the barrier",
+    "synchronization channels (one-word tokens whose values no "
+    "consumer reads) gate admissions into recirculating pipelines; "
+    "their credits are replenished by the cycle they bound, with the "
+    "initial supply kept below the cycle's queue capacity",
+)
+
+
+def _check_wiring(graph: ChannelGraph) -> list:
+    findings = []
+    for channel in graph.channels.values():
+        if channel.external:
+            continue  # control core covers both sides
+        if channel.consumers and not channel.producers:
+            names = ", ".join(sorted(str(c) for c in channel.consumers))
+            findings.append(Finding(
+                "error", "deadlock.wiring", channel.name,
+                f"queue {channel.name!r} (PE {channel.pe}) is consumed by "
+                f"{names} but has no producer; its consumers starve"))
+        elif channel.producers and not channel.consumers:
+            names = ", ".join(sorted(str(p) for p in channel.producers))
+            findings.append(Finding(
+                "error", "deadlock.wiring", channel.name,
+                f"queue {channel.name!r} (PE {channel.pe}) is produced by "
+                f"{names} but has no consumer; it fills and stalls its "
+                f"producers"))
+        elif not channel.producers and not channel.consumers:
+            findings.append(Finding(
+                "warning", "deadlock.wiring", channel.name,
+                f"queue {channel.name!r} (PE {channel.pe}) has no "
+                f"producers or consumers; it wastes queue memory"))
+    return findings
+
+
+def _check_credits(graph: ChannelGraph) -> list:
+    findings = []
+    for channel in graph.channels.values():
+        declared = set(channel.declared_producers)
+        share = channel.credit_share_words
+        if share is not None and share < channel.entry_words:
+            findings.append(Finding(
+                "error", "deadlock.credit", channel.name,
+                f"queue {channel.name!r}: per-producer credit share "
+                f"{share} words cannot hold one "
+                f"{channel.entry_words}-word entry "
+                f"({len(declared)} producers share "
+                f"{channel.capacity_words} words)"))
+        if not declared:
+            continue
+        actual = {p.name for p in channel.fabric_producers()}
+        for producer in sorted(actual - declared):
+            findings.append(Finding(
+                "error", "deadlock.credit", channel.name,
+                f"queue {channel.name!r}: {producer!r} enqueues without "
+                f"a credit (declared producers: "
+                f"{sorted(map(str, declared))}); the enqueue raises at "
+                f"runtime"))
+        for producer in sorted(declared - actual):
+            findings.append(Finding(
+                "warning", "deadlock.credit", channel.name,
+                f"queue {channel.name!r}: credit share reserved for "
+                f"{producer!r}, which never enqueues; "
+                f"{share or channel.capacity_words} words of capacity "
+                f"leak"))
+    return findings
+
+
+def _check_bounds(graph: ChannelGraph, config: SystemConfig) -> list:
+    findings = []
+    drm_names = {d.endpoint.name for d in graph.drms}
+    for channel in graph.channels.values():
+        if channel.capacity_words < channel.floor_words:
+            findings.append(Finding(
+                "error", "deadlock.bound", channel.name,
+                f"queue {channel.name!r}: capacity "
+                f"{channel.capacity_words} words is below its floor of "
+                f"{channel.floor_words} words (one "
+                f"{channel.entry_words}-word entry per producer)"))
+            continue
+        producers = channel.fabric_producers()
+        if (producers
+                and all(p.name in drm_names for p in producers)
+                and channel.capacity_entries < config.drm_max_outstanding):
+            findings.append(Finding(
+                "warning", "deadlock.bound", channel.name,
+                f"queue {channel.name!r}: holds {channel.capacity_entries} "
+                f"entries but its DRM producer may keep "
+                f"{config.drm_max_outstanding} requests outstanding; "
+                f"memory-level parallelism is throttled"))
+    return findings
+
+
+def _check_budgets(graph: ChannelGraph) -> list:
+    findings = []
+    for budget in graph.pe_budgets:
+        if budget.n_queues > budget.max_queues:
+            findings.append(Finding(
+                "error", "deadlock.budget", f"pe{budget.pe}",
+                f"PE {budget.pe}: {budget.n_queues} queues exceed the "
+                f"{budget.max_queues}-queue limit"))
+        if budget.overflow_queue is not None:
+            findings.append(Finding(
+                "error", "deadlock.budget", budget.overflow_queue,
+                f"PE {budget.pe}: queue floors need more than "
+                f"{budget.budget_words} words of queue memory; queue "
+                f"{budget.overflow_queue!r} does not fit — deepen "
+                f"queue_mem_bytes or shrink the pipeline"))
+    return findings
+
+
+def _wait_edges(graph: ChannelGraph) -> dict:
+    """Producer endpoint -> [(consumer endpoint, channel name)] over
+    data channels, excluding the control core."""
+    edges: dict = {e: [] for e in graph.endpoints()}
+    for channel in graph.channels.values():
+        if channel.control_only or channel.sync_only:
+            # Control channels close the iteration loop through the
+            # control core; sync channels gate admissions (credits,
+            # producer pacing) rather than carrying data. Both are
+            # certificate assumptions, not wait edges.
+            continue
+        for producer in channel.fabric_producers():
+            for consumer in channel.fabric_consumers():
+                edges.setdefault(producer, []).append(
+                    (consumer, channel.name))
+    return edges
+
+
+def _classify_scc(scc: list, edges: dict) -> Optional[dict]:
+    """Return a round-trip record when ``scc`` is a benign stage↔DRM
+    pair, else None (the caller reports a counterexample)."""
+    if len(scc) != 2:
+        return None
+    kinds = sorted(e.kind for e in scc)
+    if kinds != ["drm", "stage"]:
+        return None
+    drm = next(e for e in scc if e.kind == "drm")
+    stage = next(e for e in scc if e.kind == "stage")
+    requests = sorted({name for dst, name in edges.get(stage, ())
+                       if dst == drm})
+    responses = sorted({name for dst, name in edges.get(drm, ())
+                        if dst == stage})
+    return {"stage": stage.name, "drm": drm.name,
+            "request": requests, "response": responses}
+
+
+def _check_cycles(graph: ChannelGraph) -> tuple:
+    """Cyclic-wait detection. Returns (findings, round_trips)."""
+    findings = []
+    round_trips = []
+    edges = _wait_edges(graph)
+    nodes = list(edges)
+    sccs = strongly_connected_components(
+        nodes, lambda n: [dst for dst, _ in edges.get(n, ())])
+    for scc in sccs:
+        if len(scc) == 1:
+            node = scc[0]
+            self_channels = sorted({name for dst, name in edges.get(node, ())
+                                    if dst == node})
+            if self_channels:
+                findings.append(Finding(
+                    "error", "deadlock.cycle", node.name,
+                    f"cyclic wait: {node.name} -[{self_channels[0]}]-> "
+                    f"{node.name}; the stage feeds its own input queue "
+                    f"with no external drain"))
+            continue
+        trip = _classify_scc(scc, edges)
+        if trip is not None:
+            # A stage issuing requests to a DRM and draining its
+            # responses: bounded by the response channel capacity
+            # (certificate assumption), not a cyclic wait.
+            round_trips.append(trip)
+            continue
+        members = set(scc)
+        cycle = find_cycle_within(
+            members, lambda n: iter(edges.get(n, ())))
+        if cycle:
+            hops = " -> ".join(
+                f"{node.name} -[{label}]" for node, label in cycle)
+            path = f"{hops}-> {cycle[0][0].name}"
+        else:  # pragma: no cover - SCC > 1 always contains a cycle
+            path = " <-> ".join(sorted(e.name for e in scc))
+        findings.append(Finding(
+            "error", "deadlock.cycle", scc[0].name,
+            f"cyclic wait through {len(members)} endpoints: {path}; "
+            f"every stage on the cycle can block on a full downstream "
+            f"queue — break the cycle with a DRM round trip or a "
+            f"credit-bounded window"))
+    round_trips.sort(key=lambda t: (t["stage"], t["drm"]))
+    return findings, round_trips
+
+
+def _check_multiplexing(graph: ChannelGraph) -> list:
+    """Temporal-multiplexing sanity: a co-resident stage with no input
+    channel can never block, so the scheduler would spin on it."""
+    findings = []
+    stages_by_pe: dict = {}
+    for snode in graph.stages:
+        stages_by_pe.setdefault(snode.endpoint.pe, []).append(snode)
+    for pe, snodes in sorted(stages_by_pe.items()):
+        if len(snodes) < 2:
+            continue
+        for snode in snodes:
+            if not snode.spec.dfg.input_queues():
+                findings.append(Finding(
+                    "warning", "deadlock.multiplex", snode.endpoint.name,
+                    f"stage {snode.endpoint.name!r} shares PE {pe} with "
+                    f"{len(snodes) - 1} other stage(s) but has no input "
+                    f"queue; a block-driven scheduler cannot deschedule "
+                    f"it and it may starve its neighbours"))
+    return findings
+
+
+def analyze_deadlock(graph: ChannelGraph,
+                     config: SystemConfig) -> tuple:
+    """Run the deadlock pass suite. Returns (findings, certificate);
+    the certificate is None when any pass reports an error."""
+    findings = list(graph.findings)
+    findings += _check_wiring(graph)
+    findings += _check_credits(graph)
+    findings += _check_bounds(graph, config)
+    findings += _check_budgets(graph)
+    cycle_findings, round_trips = _check_cycles(graph)
+    findings += cycle_findings
+    findings += _check_multiplexing(graph)
+
+    if any(f.severity == "error" for f in findings):
+        return findings, None
+
+    edges = _wait_edges(graph)
+    n_edges = sum(len(v) for v in edges.values())
+    channels = {}
+    for channel in sorted(graph.channels.values(), key=lambda c: c.name):
+        channels[channel.name] = {
+            "pe": channel.pe,
+            "entry_words": channel.entry_words,
+            "capacity_words": channel.capacity_words,
+            "floor_words": channel.floor_words,
+            "bound_words": channel.capacity_words,
+            "credit_share_words": channel.credit_share_words,
+            "producers": sorted(str(p) for p in channel.producers),
+            "consumers": sorted(str(c) for c in channel.consumers),
+        }
+    certificate = {
+        "verdict": "deadlock-free",
+        "assumptions": list(_ASSUMPTIONS),
+        "sync_channels": sorted(c.name for c in graph.channels.values()
+                                if c.sync_only),
+        "channels": channels,
+        "queue_memory": [
+            {"pe": b.pe, "budget_words": b.budget_words,
+             "planned_words": b.planned_words, "n_queues": b.n_queues}
+            for b in graph.pe_budgets],
+        "round_trips": round_trips,
+        "wait_graph": {"nodes": len(edges), "edges": n_edges},
+    }
+    return findings, certificate

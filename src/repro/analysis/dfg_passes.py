@@ -1,0 +1,167 @@
+"""DFG dataflow analyses: liveness, dead code, constants, feasibility.
+
+These passes run per stage over the same :class:`DataflowGraph` the
+mapper consumes, predicting mapper failures (and worse: silent waste)
+before :func:`repro.cgra.mapper.map_dfg` is ever called. The
+feasibility pass reuses the mapper's own level-folding
+(:func:`repro.cgra.mapper.fold_levels`) so its column/FMA accounting is
+the mapper's accounting, and names the first node that does not fit —
+``map_dfg`` itself only names the stage.
+"""
+
+from __future__ import annotations
+
+from repro.cgra.fabric import FabricSpec
+from repro.cgra.mapper import fold_levels
+from repro.ir.dfg import DataflowGraph, DFGError
+from repro.ir.ops import OpKind, OP_INFO
+from repro.analysis.report import Finding
+
+# Pure value ops the constant-propagation pass can fold. LD/DEQ/REG
+# depend on memory or queue state; CTRL steers control tokens.
+_FOLDABLE = {
+    OpKind.ADD: lambda a, b: a + b,
+    OpKind.SUB: lambda a, b: a - b,
+    OpKind.MUL: lambda a, b: a * b,
+    OpKind.AND: lambda a, b: a & b,
+    OpKind.OR: lambda a, b: a | b,
+    OpKind.XOR: lambda a, b: a ^ b,
+    OpKind.SHL: lambda a, b: a << b,
+    OpKind.SHR: lambda a, b: a >> b,
+    OpKind.CMP_LT: lambda a, b: int(a < b),
+    OpKind.CMP_EQ: lambda a, b: int(a == b),
+    OpKind.SEL: lambda c, a, b: a if c else b,
+    OpKind.FADD: lambda a, b: a + b,
+    OpKind.FMUL: lambda a, b: a * b,
+    OpKind.FMA: lambda a, b, c: a * b + c,
+}
+
+
+def _dead_nodes(dfg: DataflowGraph) -> list:
+    findings = []
+    for node in dfg.iter_dangling_nodes():
+        findings.append(Finding(
+            "error", "dfg.dead", f"{dfg.name}.n{node.node_id}",
+            f"stage {dfg.name!r}: dangling node {node!r} — its result "
+            f"is never consumed"))
+    return findings
+
+
+def _register_liveness(dfg: DataflowGraph) -> list:
+    findings = []
+    consumed = dfg.consumed_ids()
+    for node in dfg.nodes:
+        if node.kind is not OpKind.REG:
+            continue
+        if not node.operands:
+            findings.append(Finding(
+                "warning", "dfg.liveness", f"{dfg.name}.n{node.node_id}",
+                f"stage {dfg.name!r}: register {node!r} is never "
+                f"written; it forever holds its initial value"))
+        if node.node_id not in consumed:
+            findings.append(Finding(
+                "warning", "dfg.liveness", f"{dfg.name}.n{node.node_id}",
+                f"stage {dfg.name!r}: register {node!r} is written but "
+                f"never read — dead loop-carried state"))
+    return findings
+
+
+def _constant_propagation(dfg: DataflowGraph) -> list:
+    """Forward constant propagation; foldable nodes become info
+    findings (the fabric spends an FU recomputing a known value)."""
+    findings = []
+    value: dict[int, object] = {}
+    for node in dfg.nodes:  # nodes are in def-before-use order
+        if node.kind is OpKind.CONST:
+            value[node.node_id] = node.op.attr
+            continue
+        fold = _FOLDABLE.get(node.kind)
+        if fold is None:
+            continue
+        if not all(o.node_id in value for o in node.operands):
+            continue
+        try:
+            folded = fold(*(value[o.node_id] for o in node.operands))
+        except Exception:
+            continue
+        value[node.node_id] = folded
+        findings.append(Finding(
+            "info", "dfg.constprop", f"{dfg.name}.n{node.node_id}",
+            f"stage {dfg.name!r}: {node!r} always computes {folded!r}; "
+            f"fold it into a constant to free a functional unit"))
+    return findings
+
+
+def _feasibility(dfg: DataflowGraph, fabric: FabricSpec,
+                 max_replication=None) -> tuple:
+    """Predict the mapper's verdict; returns (record, findings)."""
+    findings = []
+    levels = dfg.levels()
+    row_load = fold_levels(levels, fabric.rows)
+    lane_width = max((len(ops) for ops in row_load), default=0)
+    lane_width = max(lane_width, 1)
+    if lane_width > fabric.cols:
+        widest = max(row_load, key=len)
+        offender = widest[fabric.cols]
+        findings.append(Finding(
+            "error", "dfg.feasibility",
+            f"{dfg.name}.n{offender.node_id}",
+            f"stage {dfg.name!r}: needs {lane_width} columns, fabric "
+            f"has {fabric.cols}; node {offender!r} does not fit — "
+            f"split the stage into smaller stages"))
+
+    n_fma = dfg.n_fma_ops
+    if n_fma > fabric.fma_units:
+        fma_nodes = [n for n in dfg.nodes if OP_INFO[n.kind].needs_fma]
+        offender = fma_nodes[fabric.fma_units]
+        findings.append(Finding(
+            "error", "dfg.feasibility",
+            f"{dfg.name}.n{offender.node_id}",
+            f"stage {dfg.name!r}: needs {n_fma} FMA units, fabric has "
+            f"{fabric.fma_units}; node {offender!r} does not fit"))
+
+    # The bitstream is fixed-size per fabric: 16-byte header, 4 bytes
+    # per functional-unit cell, 4-byte checksum (repro.cgra.bitstream).
+    config_needed = 16 + 4 * fabric.n_functional_units + 4
+    if config_needed > fabric.config_bytes:
+        findings.append(Finding(
+            "error", "dfg.feasibility", dfg.name,
+            f"stage {dfg.name!r}: a {fabric.rows}x{fabric.cols} fabric "
+            f"needs {config_needed} configuration bytes but "
+            f"config_bytes is {fabric.config_bytes}"))
+
+    replication = fabric.cols // lane_width
+    if n_fma:
+        replication = min(replication, fabric.fma_units // max(n_fma, 1))
+    if max_replication is not None:
+        replication = min(replication, max_replication)
+    replication = max(replication, 1)
+
+    record = {
+        "n_levels": len(levels),
+        "lane_width": lane_width,
+        "replication": replication,
+        "depth_cycles": fabric.pipeline_depth(len(levels)),
+        "n_compute_ops": dfg.n_compute_ops,
+        "n_fma_ops": n_fma,
+        "config_bytes_needed": config_needed,
+        "fits": not any(f.severity == "error" for f in findings),
+    }
+    return record, findings
+
+
+def analyze_stage(dfg: DataflowGraph, fabric: FabricSpec,
+                  max_replication=None) -> tuple:
+    """Run all DFG passes on one stage. Returns (record, findings)."""
+    try:
+        dfg.validate(strict=False)  # empty graphs, combinational cycles
+    except DFGError as exc:
+        finding = Finding("error", "dfg.structure", dfg.name, str(exc))
+        return {"fits": False}, [finding]
+    findings = []
+    findings += _dead_nodes(dfg)
+    findings += _register_liveness(dfg)
+    findings += _constant_propagation(dfg)
+    record, feas = _feasibility(dfg, fabric, max_replication)
+    findings += feas
+    return record, findings

@@ -1,0 +1,359 @@
+"""Channel-graph extraction: the stage/queue topology of a program.
+
+The deadlock passes reason about a bipartite-ish graph: *endpoints*
+(stages, DRMs, the control core) connected by *channels* (the carved
+per-PE queues plus the program's external queues). This module builds
+that graph purely from the compiled artifacts — stage DFGs, queue
+specs, DRM specs — without instantiating a :class:`repro.core.system.
+System`, and provides the generic walkers (edge classification, cycle
+search, SCCs) shared with the front-end linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Optional
+
+from repro.config import SystemConfig
+from repro.ir.ops import OpKind
+from repro.queues.queue_memory import QueueSpec, plan_capacities
+from repro.analysis.report import Finding
+
+#: Endpoint name used for the control core (iteration dispatch/barrier).
+CONTROL_CORE = "control"
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A producer or consumer attached to a channel."""
+
+    kind: str   # "stage" | "drm" | "control"
+    name: str   # stage name / DRM spec name (== its runtime producer key)
+    pe: int = -1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Channel:
+    """One queue as seen by the static analyzer."""
+
+    name: str
+    pe: int                  # owning PE, or -1 for external queues
+    entry_words: int
+    capacity_words: int      # planned carve (or actual external capacity)
+    control_only: bool = False
+    external: bool = False
+    declared_producers: tuple = ()
+    producers: list = field(default_factory=list)   # [Endpoint]
+    consumers: list = field(default_factory=list)   # [Endpoint]
+    # True while every stage DEQ of this channel discards the dequeued
+    # value (see ``sync_only``); cleared the first time a use is seen.
+    _deq_value_unused: bool = True
+
+    @property
+    def sync_only(self) -> bool:
+        """Whether this is a pure synchronization (credit/pacing) channel.
+
+        A channel of one-word tokens whose dequeued values no consumer
+        ever reads carries no data — only permission: silo's traversal
+        credits and SpMM's producer-pacing ``NEXT`` channels (paper
+        Sec. 8.2) have this shape. Such channels gate admissions into a
+        recirculating pipeline rather than forming a data dependence,
+        so the cyclic-wait pass treats them like control edges (and the
+        certificate records the bounded-replenishment assumption).
+        """
+        return (self._deq_value_unused
+                and self.entry_words == 1
+                and not self.control_only
+                and not self.external
+                and bool(self.fabric_consumers()))
+
+    @property
+    def floor_words(self) -> int:
+        return self.entry_words * max(1, len(self.declared_producers))
+
+    @property
+    def capacity_entries(self) -> int:
+        return self.capacity_words // self.entry_words
+
+    @property
+    def credit_share_words(self) -> Optional[int]:
+        """Per-producer credit share, or None when flow control is off."""
+        if len(self.declared_producers) <= 1:
+            return None
+        return self.capacity_words // len(self.declared_producers)
+
+    def fabric_producers(self) -> list:
+        return [p for p in self.producers if p.kind != "control"]
+
+    def fabric_consumers(self) -> list:
+        return [c for c in self.consumers if c.kind != "control"]
+
+
+@dataclass
+class StageNode:
+    endpoint: Endpoint
+    spec: object            # repro.core.stage.StageSpec
+
+
+@dataclass
+class DRMNode:
+    endpoint: Endpoint
+    spec: object            # repro.core.drm.DRMSpec
+
+
+@dataclass
+class PEBudget:
+    """Queue-memory accounting for one PE."""
+
+    pe: int
+    budget_words: int
+    n_queues: int
+    max_queues: int
+    planned_words: int
+    # First queue (in declaration order) whose floor pushes the running
+    # floor total past the budget; None when the floors fit.
+    overflow_queue: Optional[str] = None
+
+    @property
+    def fits(self) -> bool:
+        return (self.overflow_queue is None
+                and self.n_queues <= self.max_queues)
+
+
+@dataclass
+class ChannelGraph:
+    """The extracted stage/queue topology plus wiring findings."""
+
+    channels: dict = field(default_factory=dict)     # name -> Channel
+    stages: list = field(default_factory=list)       # [StageNode]
+    drms: list = field(default_factory=list)         # [DRMNode]
+    pe_budgets: list = field(default_factory=list)   # [PEBudget]
+    findings: list = field(default_factory=list)     # wiring Findings
+
+    def endpoints(self) -> list:
+        return ([s.endpoint for s in self.stages]
+                + [d.endpoint for d in self.drms])
+
+
+def build_channel_graph(program, config: SystemConfig) -> ChannelGraph:
+    """Extract the channel graph from a compiled :class:`Program`.
+
+    Producer/consumer endpoints are discovered from stage DFG ENQ/DEQ
+    edges and DRM in/out/route declarations; external queues and
+    ``control_only`` queues get the control core as their outside
+    endpoint (the control core both fills iteration queues and drains
+    the barrier). References to undeclared queues become error findings
+    rather than exceptions so one lint run reports everything at once.
+    """
+    graph = ChannelGraph()
+    budget_words = config.queue_mem_bytes // 8  # WORD_BYTES
+    control = Endpoint("control", CONTROL_CORE)
+
+    for pe_id, pe_program in enumerate(program.pe_programs):
+        specs = list(pe_program.queue_specs)
+        if specs:
+            caps = plan_capacities(budget_words, specs)
+        else:
+            caps = []
+        running_floor = 0
+        overflow = None
+        for spec, cap in zip(specs, caps):
+            running_floor += spec.floor_words
+            if overflow is None and running_floor > budget_words:
+                overflow = spec.name
+            if spec.name in graph.channels:
+                graph.findings.append(Finding(
+                    "error", "graph.duplicate", spec.name,
+                    f"queue {spec.name!r} declared on PE {pe_id} and "
+                    f"PE {graph.channels[spec.name].pe}; queue names must "
+                    f"be system-unique"))
+                continue
+            channel = Channel(
+                name=spec.name, pe=pe_id, entry_words=spec.entry_words,
+                capacity_words=cap, control_only=spec.control_only,
+                declared_producers=tuple(spec.producers))
+            if spec.control_only:
+                channel.producers.append(control)
+            graph.channels[spec.name] = channel
+        graph.pe_budgets.append(PEBudget(
+            pe=pe_id, budget_words=budget_words, n_queues=len(specs),
+            max_queues=config.max_queues_per_pe,
+            planned_words=sum(caps), overflow_queue=overflow))
+
+    for name, queue in program.external_queues.items():
+        if name in graph.channels:
+            graph.findings.append(Finding(
+                "error", "graph.duplicate", name,
+                f"external queue {name!r} shadows a queue carved on "
+                f"PE {graph.channels[name].pe}"))
+            continue
+        channel = Channel(
+            name=name, pe=-1, entry_words=queue.entry_words,
+            capacity_words=queue.capacity_words, external=True,
+            declared_producers=tuple(queue.producers))
+        # External queues sit on the control-core boundary: the control
+        # core may both fill and drain them (iteration dispatch in, the
+        # barrier out), so it counts as an endpoint on both sides.
+        channel.producers.append(control)
+        channel.consumers.append(control)
+        graph.channels[name] = channel
+
+    def touch(endpoint: Endpoint, queue_name: str, side: str,
+              what: str) -> None:
+        channel = graph.channels.get(queue_name)
+        if channel is None:
+            graph.findings.append(Finding(
+                "error", "graph.undeclared", str(endpoint),
+                f"{what} references undeclared queue {queue_name!r}"))
+            return
+        listing = channel.producers if side == "produce" else channel.consumers
+        if endpoint not in listing:
+            listing.append(endpoint)
+
+    for pe_id, pe_program in enumerate(program.pe_programs):
+        for stage in pe_program.stage_specs:
+            endpoint = Endpoint("stage", stage.name, pe_id)
+            graph.stages.append(StageNode(endpoint, stage))
+            consumed_ids = stage.dfg.consumed_ids()
+            for node in stage.dfg.nodes:
+                if node.kind is OpKind.ENQ:
+                    touch(endpoint, node.op.attr, "produce",
+                          f"stage {stage.name!r}: {node!r}")
+                elif node.kind is OpKind.DEQ:
+                    touch(endpoint, node.op.attr, "consume",
+                          f"stage {stage.name!r}: {node!r}")
+                    channel = graph.channels.get(node.op.attr)
+                    if (channel is not None
+                            and node.node_id in consumed_ids):
+                        channel._deq_value_unused = False
+        for drm in pe_program.drm_specs:
+            endpoint = Endpoint("drm", drm.name, pe_id)
+            graph.drms.append(DRMNode(endpoint, drm))
+            touch(endpoint, drm.in_queue, "consume", f"DRM {drm.name!r}")
+            channel = graph.channels.get(drm.in_queue)
+            if channel is not None:
+                # A DRM dereferences what it dequeues: that is a use.
+                channel._deq_value_unused = False
+            if drm.out_queue is not None:
+                touch(endpoint, drm.out_queue, "produce",
+                      f"DRM {drm.name!r}")
+            for target in drm.route_targets:
+                touch(endpoint, target, "produce",
+                      f"DRM {drm.name!r} (route target)")
+
+    return graph
+
+
+# -- generic walkers -------------------------------------------------------
+
+def classify_edge(edge, control_terminals=(CONTROL_CORE,)) -> Optional[str]:
+    """Classify one stage/queue-graph edge for feed-forward checking.
+
+    ``edge`` is any record with ``queue``/``src``/``dst``/``src_stage``/
+    ``dst_stage``/``control`` attributes (the front end's ``QueueEdge``).
+    Returns ``None`` for a legal edge, ``"control-escape"`` for a
+    control channel that bypasses the control core, or ``"backward"``
+    for a data channel pointing upstream. DRM round trips sit on a stage
+    boundary (``dst_stage == src_stage``) and are legal.
+    """
+    if edge.control:
+        if edge.src in control_terminals or edge.dst in control_terminals:
+            return None
+        return "control-escape"
+    if edge.dst_stage < edge.src_stage:
+        return "backward"
+    return None
+
+
+def strongly_connected_components(
+        nodes: Iterable[Hashable],
+        successors: Callable[[Hashable], Iterable[Hashable]]) -> list:
+    """Tarjan's SCC algorithm, iterative (stage graphs can be deep)."""
+    nodes = list(nodes)
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    sccs: list = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(list(successors(root))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(list(successors(succ)))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def find_cycle_within(
+        members: set,
+        labeled_successors: Callable[[Hashable], Iterable[tuple]]) -> list:
+    """One cycle confined to ``members``, as ``[(node, label), ...]``
+    where ``label`` annotates the edge to the *next* entry (wrapping).
+
+    ``labeled_successors(node)`` yields ``(successor, label)`` pairs.
+    Returns ``[]`` if the induced subgraph is acyclic.
+    """
+    state: dict = {}   # 0 default, 1 on path, 2 done
+    path: list = []    # [(node, label_to_next)]
+
+    def walk(node) -> Optional[list]:
+        state[node] = 1
+        for succ, label in labeled_successors(node):
+            if succ not in members:
+                continue
+            seen = state.get(succ, 0)
+            if seen == 1:
+                start = next(i for i, (n, _) in enumerate(path)
+                             if n == succ)
+                return path[start:] + [(node, label)]
+            if seen == 0:
+                path.append((node, label))
+                found = walk(succ)
+                path.pop()
+                if found is not None:
+                    return found
+        state[node] = 2
+        return None
+
+    for member in members:
+        if state.get(member, 0) == 0:
+            found = walk(member)
+            if found is not None:
+                return found
+    return []

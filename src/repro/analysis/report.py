@@ -1,0 +1,117 @@
+"""Findings and reports produced by the static analysis passes.
+
+A pass emits :class:`Finding` records; :class:`AnalysisReport` collects
+them for one compiled program together with the deadlock-freedom
+certificate (when every pass comes back clean) and the per-stage
+feasibility records. Reports serialize deterministically (sorted keys)
+so ``repro lint --json`` output is diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+SEVERITIES = ("error", "warning", "info")
+
+
+class AnalysisError(Exception):
+    """Raised by :meth:`AnalysisReport.require_clean` on error findings."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from a static analysis pass.
+
+    ``severity``: "error" (the program will fail to build, deadlock, or
+    crash), "warning" (legal but suspicious — e.g. a reserved credit
+    share that is never used), or "info" (neutral facts such as foldable
+    constants). ``pass_name`` identifies the pass (``deadlock.cycle``,
+    ``dfg.dead``, ...); ``subject`` names the offending stage, queue, or
+    node so tooling can link back to the artifact.
+    """
+
+    severity: str
+    pass_name: str
+    subject: str
+    message: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def as_dict(self) -> dict:
+        return {"severity": self.severity, "pass": self.pass_name,
+                "subject": self.subject, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.severity}[{self.pass_name}] {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one compiled program under one configuration."""
+
+    program: str
+    mode: str
+    findings: list[Finding] = field(default_factory=list)
+    # Present only when no pass reported an error: the deadlock-freedom
+    # certificate (channel bounds, wait graph, assumptions).
+    certificate: Optional[dict] = None
+    # Per-stage feasibility records from the DFG passes.
+    stages: dict = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    def require_clean(self) -> None:
+        if self.errors:
+            summary = "; ".join(f.message for f in self.errors)
+            raise AnalysisError(
+                f"program {self.program!r}: {len(self.errors)} analysis "
+                f"error(s): {summary}")
+
+    def as_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "mode": self.mode,
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+            "certificate": self.certificate,
+            "stages": self.stages,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable summary for ``repro lint``."""
+        lines = [f"{self.program} [{self.mode}]: "
+                 f"{len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s), "
+                 f"{len(self.stages)} stage(s) analyzed"]
+        for finding in self.findings:
+            lines.append(f"  {finding.render()}")
+        if self.certificate is not None:
+            cert = self.certificate
+            lines.append(
+                f"  certificate: deadlock-free "
+                f"({cert['wait_graph']['nodes']} endpoints, "
+                f"{cert['wait_graph']['edges']} wait edges, "
+                f"{len(cert['round_trips'])} bounded round trip(s))")
+        elif not self.ok:
+            lines.append("  certificate: NOT ISSUED (see errors)")
+        return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Armable runtime sanitizer: dynamic counterpart of the static passes.
+
+The sanitizer rides the telemetry plumbing. Arming registers it as a
+*sampler* on the system's :class:`~repro.stats.telemetry.EventBus`, and
+every ``stride``-th quantum boundary (plus arm and disarm) it sweeps
+the live simulation state:
+
+* **token conservation** — each queue's occupancy-word counter equals a
+  recount of its stored tokens and stays within ``[0, capacity]``;
+* **credit conservation** — on credited (multi-producer) channels,
+  outstanding credits plus occupancy equal the carved total and no
+  share is negative (the Sec. 5.6 invariant);
+* **double-buffered config consistency** — a PE holds an incoming
+  configuration exactly while a reconfiguration is draining/loading,
+  and the remaining time never exceeds the period;
+* **monotone clocks** — each PE's ``now`` never moves backwards.
+
+In this default mode no event *sink* is subscribed, so the simulator's
+probe sites stay on their zero-cost path and the fast-forward engine
+remains eligible: an armed run is bit-identical to an unarmed run and
+cheap enough to leave on in CI. ``deep=True`` additionally subscribes
+an event sink that audits every ``queue.enq``/``queue.deq`` against a
+shadow occupancy model and checks per-source event-time monotonicity —
+costlier (event emission turns on) but still bit-identical.
+
+Violations raise :class:`SanitizerError` naming the queue or PE; it
+subclasses ``AssertionError`` because a failure means the *simulator*
+broke an invariant, not the simulated program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.stats.telemetry import EventBus, EventSink, TelemetryEvent
+
+_EPS = 1e-9
+
+
+class SanitizerError(AssertionError):
+    """A simulation invariant was violated while the sanitizer was armed."""
+
+
+class SimulationSanitizer(EventSink):
+    """Arms invariant checks on a live :class:`~repro.core.system.System`.
+
+    Usage::
+
+        sanitizer = SimulationSanitizer(deep=False).arm(system)
+        result = system.run()
+        sanitizer.disarm()
+    """
+
+    def __init__(self, deep: bool = False, stride: int = 8):
+        if stride < 1:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.deep = deep
+        # Sweep every ``stride``-th quantum boundary (plus once at arm
+        # and disarm). The swept invariants are conservation laws — a
+        # leaked word or credit stays leaked — so striding delays
+        # detection by at most ``stride - 1`` quanta while keeping the
+        # recount cost amortized below the CI overhead budget.
+        self.stride = stride
+        self._boundaries = 0
+        self.system = None
+        self.bus: Optional[EventBus] = None
+        self.checked_quanta = 0
+        self.checked_events = 0
+        self._owns_bus = False
+        self._pe_clock: dict[int, float] = {}
+        self._credit_totals: dict[str, int] = {}
+        # deep mode state
+        self._shadow_occupancy: dict[str, int] = {}
+        self._source_clock: dict[str, float] = {}
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, system) -> "SimulationSanitizer":
+        if self.system is not None:
+            raise RuntimeError("sanitizer is already armed")
+        self.system = system
+        bus = system.telemetry
+        if bus is None:
+            bus = EventBus()
+            self._owns_bus = True
+            system.attach_telemetry(bus)
+        self.bus = bus
+        bus.add_sampler(self)
+        for name, queue in system.queues.items():
+            credits = queue.credit_state()
+            if credits is not None:
+                self._credit_totals[name] = (
+                    sum(credits.values()) + queue.occupancy_words)
+            if self.deep:
+                self._shadow_occupancy[name] = queue.occupancy_words
+        for pe in system.pes:
+            self._pe_clock[pe.pe_id] = pe.now
+        if self.deep:
+            bus.subscribe(self)
+        self.check(system)
+        return self
+
+    def disarm(self) -> None:
+        if self.system is None:
+            return
+        self.check(self.system)  # final sweep over the end state
+        bus = self.bus
+        if bus is not None:
+            if self in bus.samplers:
+                bus.samplers.remove(self)
+            bus.unsubscribe(self)
+        if self._owns_bus:
+            self.system.detach_telemetry()
+        self.system = None
+        self.bus = None
+        self._owns_bus = False
+
+    # -- sampler protocol (called once per quantum boundary) ---------------
+
+    def maybe_sample(self, system) -> None:
+        self._boundaries += 1
+        if self._boundaries % self.stride == 0:
+            self.check(system)
+
+    # -- the structural sweep ----------------------------------------------
+
+    def check(self, system) -> None:
+        """Sweep all queues and PEs; raises :class:`SanitizerError`."""
+        cycle = system.cycle
+        for name, queue in system.queues.items():
+            occupancy = queue.occupancy_words
+            recount = queue.token_words()
+            if occupancy != recount:
+                raise SanitizerError(
+                    f"cycle {cycle}: queue {name!r}: occupancy counter "
+                    f"says {occupancy} words but stored tokens total "
+                    f"{recount} words")
+            if not 0 <= occupancy <= queue.capacity_words:
+                raise SanitizerError(
+                    f"cycle {cycle}: queue {name!r}: occupancy "
+                    f"{occupancy} words outside [0, "
+                    f"{queue.capacity_words}]")
+            credits = queue.credit_state()
+            if credits is not None:
+                for producer, share in credits.items():
+                    if share < 0:
+                        raise SanitizerError(
+                            f"cycle {cycle}: queue {name!r}: producer "
+                            f"{producer!r} holds {share} credits; a "
+                            f"credit went negative")
+                total = sum(credits.values()) + occupancy
+                expected = self._credit_totals[name]
+                if total != expected:
+                    raise SanitizerError(
+                        f"cycle {cycle}: queue {name!r}: credits + "
+                        f"occupancy = {total} words, expected "
+                        f"{expected}; a credit leaked")
+            if self.deep:
+                shadow = self._shadow_occupancy.get(name)
+                if shadow is not None and shadow != occupancy:
+                    raise SanitizerError(
+                        f"cycle {cycle}: queue {name!r}: event-derived "
+                        f"occupancy {shadow} words disagrees with the "
+                        f"live counter {occupancy}")
+        for pe in system.pes:
+            if pe.now + _EPS < self._pe_clock[pe.pe_id]:
+                raise SanitizerError(
+                    f"cycle {cycle}: PE {pe.pe_id}: clock moved "
+                    f"backwards ({self._pe_clock[pe.pe_id]} -> "
+                    f"{pe.now})")
+            self._pe_clock[pe.pe_id] = pe.now
+            reconfiguring = pe._reconfig_remaining > _EPS
+            if (pe._incoming is not None) != reconfiguring:
+                raise SanitizerError(
+                    f"cycle {cycle}: PE {pe.pe_id}: double-buffer state "
+                    f"inconsistent — incoming config "
+                    f"{'present' if pe._incoming is not None else 'absent'} "
+                    f"with {pe._reconfig_remaining} reconfiguration "
+                    f"cycles remaining")
+            if pe._reconfig_remaining > pe._reconfig_period + _EPS:
+                raise SanitizerError(
+                    f"cycle {cycle}: PE {pe.pe_id}: reconfiguration "
+                    f"remaining {pe._reconfig_remaining} exceeds its "
+                    f"period {pe._reconfig_period}")
+            if pe._incoming is not None and pe._incoming is pe.current:
+                raise SanitizerError(
+                    f"cycle {cycle}: PE {pe.pe_id}: incoming "
+                    f"configuration is the active one; the double "
+                    f"buffer would reload the current stage")
+        self.checked_quanta += 1
+
+    # -- deep mode: event-level audit --------------------------------------
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self.checked_events += 1
+        kind = event.kind
+        if kind == "queue.enq" or kind == "queue.deq":
+            name = event.data["queue"]
+            delta = event.data["words"]
+            shadow = self._shadow_occupancy.get(name, 0)
+            shadow += delta if kind == "queue.enq" else -delta
+            self._shadow_occupancy[name] = shadow
+            if shadow != event.data["occupancy"]:
+                raise SanitizerError(
+                    f"queue {name!r}: {kind} event reports occupancy "
+                    f"{event.data['occupancy']} words but the event "
+                    f"stream implies {shadow}")
+        if kind == "mem.complete":
+            # Future-stamped at issue time (cycle = issue + latency), so
+            # it may legitimately precede later-issued events in time.
+            return
+        last = self._source_clock.get(event.source)
+        if last is not None and event.cycle + _EPS < last:
+            raise SanitizerError(
+                f"source {event.source!r}: event time moved backwards "
+                f"({last} -> {event.cycle}, kind {kind!r})")
+        self._source_clock[event.source] = event.cycle

@@ -74,6 +74,21 @@ class Mapping:
         return "\n".join([header] + rows)
 
 
+def fold_levels(levels: list[list[Node]], rows: int) -> list[list[Node]]:
+    """Fold dataflow levels onto fabric rows (deep graphs traverse the
+    fabric more than once through the edge switches). Queue/memory edge
+    ops occupy no functional unit and are dropped.
+
+    Shared by the mapper and the fabric-feasibility pass in
+    ``repro.analysis.dfg_passes`` so both predict the same placement.
+    """
+    row_load: list[list[Node]] = [[] for _ in range(rows)]
+    for i, level in enumerate(levels):
+        compute = [n for n in level if not OP_INFO[n.kind].is_edge]
+        row_load[i % rows].extend(compute)
+    return row_load
+
+
 def map_dfg(dfg: DataflowGraph, fabric: FabricSpec,
             max_replication: int | None = None) -> Mapping:
     """Map ``dfg`` onto ``fabric``; raises ``UnmappableStageError`` if it
@@ -81,12 +96,7 @@ def map_dfg(dfg: DataflowGraph, fabric: FabricSpec,
     dfg.validate()
     levels = dfg.levels()
 
-    # Fold dataflow levels onto fabric rows (deep graphs traverse the
-    # fabric more than once through the edge switches).
-    row_load: list[list[Node]] = [[] for _ in range(fabric.rows)]
-    for i, level in enumerate(levels):
-        compute = [n for n in level if not OP_INFO[n.kind].is_edge]
-        row_load[i % fabric.rows].extend(compute)
+    row_load = fold_levels(levels, fabric.rows)
 
     lane_width = max((len(ops) for ops in row_load), default=0)
     lane_width = max(lane_width, 1)

@@ -23,6 +23,10 @@ Commands:
 * ``stats APP INPUT [--json]`` — run one experiment and print its full
   statistics (CPI stack, cache/memory, residence); ``--json`` emits the
   machine-readable run manifest instead.
+* ``lint APP [INPUT] [--json]`` — statically verify a workload's
+  compiled pipeline (queue/deadlock analysis, DFG dataflow passes; see
+  ``docs/analysis.md``) without simulating it. ``lint all`` verifies
+  every registered workload; exits non-zero on any error finding.
 * ``report DIR [DIR ...]`` — load run manifests (written by
   ``run_experiment(..., manifest_dir=...)`` or ``stats --manifest-dir``)
   and tabulate cycles, CPI shares, and relative speedups across runs.
@@ -71,9 +75,12 @@ def cmd_run(args) -> int:
     _check_input(args.app, args.input)
     result = run_experiment(args.app, args.input, args.system,
                             variant=args.variant, scale=args.scale,
-                            seed=args.seed, engine=args.engine)
+                            seed=args.seed, engine=args.engine,
+                            sanitize=args.sanitize)
+    sanitized = " [sanitized]" if args.sanitize else ""
     print(f"{args.app}/{args.input} on {args.system} ({args.variant}): "
-          f"{result.cycles:,.0f} cycles (verified against the reference)")
+          f"{result.cycles:,.0f} cycles (verified against the "
+          f"reference){sanitized}")
     raw = result.raw
     stack = raw.merged_cpi_stack()
     total = sum(stack.values())
@@ -172,7 +179,7 @@ def cmd_trace(args) -> int:
             json.dump(chrome_trace(sink.events, result.cycles,
                                    samples=sampler.samples,
                                    process_name=f"{args.app}/{args.input}"),
-                      out)
+                      out, sort_keys=True)
             out.write("\n")
         bus.close()
     finally:
@@ -239,12 +246,43 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.harness.run import analyze_workload, default_scale
+    if args.app == "all":
+        if args.input is not None:
+            raise SystemExit("lint all takes no INPUT argument")
+        targets = [(app, APP_INPUTS[app][0]) for app in sorted(APP_INPUTS)]
+    else:
+        code = args.input or APP_INPUTS[args.app][0]
+        _check_input(args.app, code)
+        targets = [(args.app, code)]
+    reports = []
+    for app, code in targets:
+        scale = args.scale
+        if scale is None:
+            # The pipeline topology is scale-independent; lint at a
+            # small scale so input generation stays fast.
+            scale = min(default_scale(app, code), 0.2)
+        reports.append(analyze_workload(
+            app, code, system=args.system, variant=args.variant,
+            scale=scale, seed=args.seed))
+    if args.json:
+        payload = [r.as_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_stats(args) -> int:
     _check_input(args.app, args.input)
     result = run_experiment(args.app, args.input, args.system,
                             variant=args.variant, scale=args.scale,
                             seed=args.seed, engine=args.engine,
-                            manifest_dir=args.manifest_dir)
+                            manifest_dir=args.manifest_dir,
+                            sanitize=args.sanitize)
     manifest = build_manifest(result)
     if args.json:
         print(json.dumps(manifest, indent=2, sort_keys=True))
@@ -306,6 +344,10 @@ def main(argv=None) -> int:
     p_run.add_argument("--system", choices=SYSTEMS, default="fifer")
     p_run.add_argument("--variant", choices=("decoupled", "merged"),
                        default="decoupled")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="arm the simulation sanitizer (per-quantum "
+                            "token/credit conservation checks; "
+                            "bit-identical results)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all four systems on one input")
@@ -355,7 +397,28 @@ def main(argv=None) -> int:
                          help="emit the machine-readable run manifest")
     p_stats.add_argument("--manifest-dir", default=None, metavar="DIR",
                          help="also write the manifest under DIR")
+    p_stats.add_argument("--sanitize", action="store_true",
+                         help="arm the simulation sanitizer during the run")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically verify a workload's compiled pipeline")
+    p_lint.add_argument("app", choices=sorted(APP_INPUTS) + ["all"],
+                        help="workload to verify, or 'all'")
+    p_lint.add_argument("input", nargs="?", default=None, metavar="INPUT",
+                        help="input code (default: the app's first input)")
+    p_lint.add_argument("--system", choices=("static", "fifer"),
+                        default="fifer")
+    p_lint.add_argument("--variant", choices=("decoupled", "merged"),
+                        default="decoupled")
+    p_lint.add_argument("--scale", type=float, default=None,
+                        help="input scale (default: small; the pipeline "
+                             "topology does not depend on it)")
+    p_lint.add_argument("--seed", type=int, default=1)
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit machine-readable findings and the "
+                             "deadlock-freedom certificate")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_report = sub.add_parser(
         "report", help="tabulate run manifests across runs")

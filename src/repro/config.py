@@ -138,8 +138,23 @@ class SystemConfig:
         if self.queue_mem_bytes < 64:
             raise ValueError(
                 f"queue memory of {self.queue_mem_bytes} bytes is too small")
-        if self.n_drms < 0 or self.drm_issue_width <= 0:
-            raise ValueError("invalid DRM parameters")
+        if self.n_drms < 0:
+            raise ValueError(f"n_drms must be >= 0, got {self.n_drms}")
+        if self.drm_issue_width <= 0:
+            raise ValueError(
+                f"drm_issue_width must be positive, got {self.drm_issue_width}")
+        if self.drm_max_outstanding <= 0:
+            raise ValueError(
+                f"drm_max_outstanding must be positive, got "
+                f"{self.drm_max_outstanding}")
+        if self.max_queues_per_pe <= 0:
+            raise ValueError(
+                f"max_queues_per_pe must be positive, got "
+                f"{self.max_queues_per_pe}")
+        if self.deadlock_quanta <= 0:
+            raise ValueError(
+                f"deadlock_quanta must be positive, got "
+                f"{self.deadlock_quanta}")
         if (self.max_simd_replication is not None
                 and self.max_simd_replication < 1):
             raise ValueError("max_simd_replication must be >= 1 or None")

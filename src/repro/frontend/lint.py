@@ -17,13 +17,17 @@ that violate those rules with errors naming the offending node:
 
 Structural checks on the generated per-stage DFGs (dangling nodes,
 multiply-driven registers, queue wiring) live in :mod:`repro.ir.dfg`;
-the lowering pass runs them on every generated stage.
+the lowering pass runs them on every generated stage. The feed-forward
+edge classification itself is shared with the static verifier
+(:func:`repro.analysis.graph.classify_edge`), which applies the same
+rule to hand-written pipelines.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from repro.analysis.graph import classify_edge
 from repro.frontend.kernel import FrontendError, GraphKernel, Value
 
 
@@ -157,14 +161,13 @@ def check_feed_forward(kernel_name: str, edges: Iterable) -> None:
     the control core.
     """
     for edge in edges:
-        if edge.control:
-            if "control" not in (edge.src, edge.dst):
-                raise PipelineLintError(
-                    f"kernel {kernel_name!r}: control channel "
-                    f"{edge.queue!r} does not terminate at the control "
-                    f"core ({edge.src} -> {edge.dst})")
-            continue
-        if edge.dst_stage < edge.src_stage:
+        verdict = classify_edge(edge)
+        if verdict == "control-escape":
+            raise PipelineLintError(
+                f"kernel {kernel_name!r}: control channel "
+                f"{edge.queue!r} does not terminate at the control "
+                f"core ({edge.src} -> {edge.dst})")
+        if verdict == "backward":
             raise PipelineLintError(
                 f"kernel {kernel_name!r}: queue {edge.queue!r} flows "
                 f"backwards ({edge.src} -> {edge.dst}); the pipeline is "

@@ -2,14 +2,14 @@
 formats the paper's tables and figures."""
 
 from repro.harness.run import (ExperimentResult, GRAPH_APPS, APP_INPUTS,
-                               SYSTEMS, prepare_input, run_experiment,
-                               speedup_table)
+                               SYSTEMS, analyze_workload, prepare_input,
+                               run_experiment, speedup_table)
 from repro.harness.format import format_table, gmean
 from repro.harness.sweep import SweepPoint, merge_sweep_manifests, run_sweep
 
 __all__ = [
     "ExperimentResult", "GRAPH_APPS", "APP_INPUTS", "SYSTEMS",
-    "prepare_input", "run_experiment", "speedup_table",
+    "analyze_workload", "prepare_input", "run_experiment", "speedup_table",
     "format_table", "gmean",
     "SweepPoint", "merge_sweep_manifests", "run_sweep",
 ]

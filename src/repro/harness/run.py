@@ -218,6 +218,34 @@ def _check(app: str, result, golden) -> bool:
     return np.array_equal(result, golden)
 
 
+def analyze_workload(app: str, input_code: str, system: str = "fifer",
+                     prepared: Optional[PreparedInput] = None,
+                     variant: str = "decoupled",
+                     config: Optional[SystemConfig] = None,
+                     scale: Optional[float] = None, seed: int = 1):
+    """Statically analyze one workload's compiled program.
+
+    Builds the program exactly as :func:`run_experiment` would (same
+    input preparation, same config adjustments) and runs the
+    :mod:`repro.analysis` pass suite over the artifacts without
+    instantiating a :class:`~repro.core.system.System`. Returns an
+    :class:`~repro.analysis.report.AnalysisReport`.
+    """
+    from repro.analysis import analyze_program
+    if system not in ("static", "fifer"):
+        raise ValueError(
+            f"system {system!r} has no CGRA program to analyze; "
+            f"choose static or fifer")
+    if scale is None and prepared is None:
+        scale = default_scale(app, input_code)
+    if prepared is None:
+        prepared = prepare_input(app, input_code, scale=scale, seed=seed)
+    sys_config = _system_config(app, config)
+    program, _workload = _build_cgra_program(
+        prepared, sys_config, system, variant)
+    return analyze_program(program, sys_config, mode=system)
+
+
 def run_experiment(app: str, input_code: str, system: str,
                    prepared: Optional[PreparedInput] = None,
                    variant: str = "decoupled",
@@ -228,7 +256,8 @@ def run_experiment(app: str, input_code: str, system: str,
                    check: bool = True,
                    telemetry=None,
                    manifest_dir=None,
-                   engine: str = "fast") -> ExperimentResult:
+                   engine: str = "fast",
+                   sanitize: bool = False) -> ExperimentResult:
     """Run one experiment; see module docstring for the system names.
 
     ``telemetry`` is an optional :class:`repro.stats.telemetry.EventBus`
@@ -239,6 +268,9 @@ def run_experiment(app: str, input_code: str, system: str,
     written there; ``python -m repro report DIR`` tabulates them.
     ``engine`` selects the CGRA simulation loop (``fast`` or ``naive``;
     see :data:`repro.core.ENGINES`); the analytic OOO model ignores it.
+    ``sanitize`` arms a :class:`repro.analysis.SimulationSanitizer` on
+    CGRA runs: per-quantum token/credit-conservation and clock checks
+    that keep the run bit-identical (see ``docs/analysis.md``).
     """
     from repro.core import ENGINES
     if system not in SYSTEMS:
@@ -261,9 +293,17 @@ def run_experiment(app: str, input_code: str, system: str,
         sys_config = _system_config(app, config)
         program, _workload = _build_cgra_program(
             prepared, sys_config, system, variant)
-        raw = System(sys_config, program, mode=system,
-                     telemetry=telemetry).run(max_cycles=max_cycles,
-                                              engine=engine)
+        simulator = System(sys_config, program, mode=system,
+                           telemetry=telemetry)
+        sanitizer = None
+        if sanitize:
+            from repro.analysis import SimulationSanitizer
+            sanitizer = SimulationSanitizer().arm(simulator)
+        try:
+            raw = simulator.run(max_cycles=max_cycles, engine=engine)
+        finally:
+            if sanitizer is not None:
+                sanitizer.disarm()
         energy = energy_model.cgra_energy(raw).as_dict()
         result = raw.result
     wall_time_s = time.perf_counter() - t_start

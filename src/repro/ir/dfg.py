@@ -126,17 +126,32 @@ class DataflowGraph:
         self.levels()  # raises on cycles
         if not strict:
             return
+        for node in self.iter_dangling_nodes():
+            raise DFGError(
+                f"stage {self.name!r}: dangling node {node!r} — its "
+                f"result is never consumed")
+
+    def consumed_ids(self) -> set[int]:
+        """Node ids that appear as an operand somewhere (REG back-edge
+        operands count as consumption)."""
         consumed = set()
         for node in self.nodes:
             for operand in node.operands:
                 consumed.add(operand.node_id)
+        return consumed
+
+    def iter_dangling_nodes(self) -> Iterable[Node]:
+        """Value-producing nodes whose result nothing consumes.
+
+        Shared by strict :meth:`validate` and the dead-node pass in
+        ``repro.analysis.dfg_passes`` so both report the same set.
+        """
+        consumed = self.consumed_ids()
         for node in self.nodes:
             if node.kind in self._SINK_KINDS:
                 continue
             if node.node_id not in consumed:
-                raise DFGError(
-                    f"stage {self.name!r}: dangling node {node!r} — its "
-                    f"result is never consumed")
+                yield node
 
     def levels(self) -> list[list[Node]]:
         """ASAP levelization: level of a node = 1 + max(level of operands).

@@ -72,6 +72,10 @@ class Queue:
                  producers: Sequence[Hashable] = (),
                  control_only: bool = False):
         self.control_only = control_only
+        if entry_words < 1:
+            raise ValueError(
+                f"queue {name!r}: entry_words must be positive, "
+                f"got {entry_words}")
         if capacity_words < entry_words:
             raise ValueError(
                 f"queue {name!r}: capacity {capacity_words} words cannot hold "
@@ -107,6 +111,16 @@ class Queue:
 
     def is_empty(self) -> bool:
         return not self._tokens
+
+    def token_words(self) -> int:
+        """Recount occupancy from the stored tokens (sanitizer oracle)."""
+        return sum(t.words(self.entry_words) for t in self._tokens)
+
+    def credit_state(self) -> Optional[dict[Hashable, int]]:
+        """Snapshot of per-producer credits, or None when uncredited."""
+        if self._credits is None:
+            return None
+        return dict(self._credits)
 
     def describe(self) -> str:
         """One-line occupancy summary for deadlock/timeout reports."""

@@ -39,6 +39,52 @@ class QueueSpec:
     # as idle time, not queue-empty stalls.
     control_only: bool = False
 
+    def __post_init__(self):
+        if self.entry_words < 1:
+            raise ValueError(
+                f"queue {self.name!r}: entry_words must be positive, "
+                f"got {self.entry_words}")
+        if self.weight <= 0:
+            raise ValueError(
+                f"queue {self.name!r}: weight must be positive, "
+                f"got {self.weight}")
+
+    @property
+    def floor_words(self) -> int:
+        """Minimum carve: one entry per producer so credit-based flow
+        control has at least one credit each."""
+        return self.entry_words * max(1, len(self.producers))
+
+
+def plan_capacities(budget_words: int, specs: Sequence[QueueSpec]) -> list[int]:
+    """Pure capacity plan: divide ``budget_words`` among ``specs``.
+
+    Memory accrues proportionally to ``weight``, with each queue floored
+    at one entry per producer. If the floors alone exceed the budget the
+    plan over-allocates (``sum(plan) > budget_words``) — callers that
+    care, e.g. the static analyzer's budget pass, must check for that.
+    """
+    total_weight = sum(s.weight for s in specs)
+    if total_weight <= 0:
+        raise QueueMemoryError("total queue weight must be positive")
+    capacities = []
+    for spec in specs:
+        words = int(budget_words * spec.weight / total_weight)
+        # Every queue must hold at least one entry per producer so
+        # credit-based flow control has at least one credit each.
+        capacities.append(max(words, spec.floor_words))
+    if sum(capacities) > budget_words and sum(capacities) > sum(
+            s.floor_words for s in specs):
+        # Shrink proportionally if the floors pushed us over budget.
+        over = sum(capacities) - budget_words
+        for i, spec in enumerate(specs):
+            give = min(over, capacities[i] - spec.floor_words)
+            capacities[i] -= give
+            over -= give
+            if over <= 0:
+                break
+    return capacities
+
 
 class QueueMemory:
     """Carves a byte budget into :class:`Queue` objects."""
@@ -65,28 +111,7 @@ class QueueMemory:
         names = [s.name for s in specs]
         if len(set(names)) != len(names):
             raise QueueMemoryError(f"duplicate queue names in {names}")
-        total_weight = sum(s.weight for s in specs)
-        if total_weight <= 0:
-            raise QueueMemoryError("total queue weight must be positive")
-        budget = self.capacity_words
-        capacities = []
-        for spec in specs:
-            words = int(budget * spec.weight / total_weight)
-            # Every queue must hold at least one entry per producer so
-            # credit-based flow control has at least one credit each.
-            floor = spec.entry_words * max(1, len(spec.producers))
-            capacities.append(max(words, floor))
-        if sum(capacities) > budget and sum(capacities) > sum(
-                s.entry_words * max(1, len(s.producers)) for s in specs):
-            # Shrink proportionally if the floors pushed us over budget.
-            over = sum(capacities) - budget
-            for i, spec in enumerate(specs):
-                floor = spec.entry_words * max(1, len(spec.producers))
-                give = min(over, capacities[i] - floor)
-                capacities[i] -= give
-                over -= give
-                if over <= 0:
-                    break
+        capacities = plan_capacities(self.capacity_words, specs)
         for spec, capacity in zip(specs, capacities):
             self.queues[spec.name] = Queue(
                 spec.name, capacity, spec.entry_words, spec.producers,

@@ -184,7 +184,8 @@ class JsonlSink(EventSink):
 
     def on_event(self, event: TelemetryEvent) -> None:
         if self.kinds is None or event.kind in self.kinds:
-            self.stream.write(json.dumps(event.as_dict()) + "\n")
+            self.stream.write(json.dumps(event.as_dict(), sort_keys=True)
+                              + "\n")
             self.n_events += 1
 
     def close(self) -> None:
@@ -315,5 +316,5 @@ def write_chrome_trace(stream, events, end_cycle: float, samples=(),
                        **kwargs) -> None:
     """Serialize :func:`chrome_trace` output to an open text stream."""
     json.dump(chrome_trace(events, end_cycle, samples=samples, **kwargs),
-              stream)
+              stream, sort_keys=True)
     stream.write("\n")

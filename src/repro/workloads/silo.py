@@ -232,6 +232,10 @@ class SiloWorkload:
         b.enq(self.q("trav", shard), addr)
         b.enq(self.q("leaf_in", shard), addr)
         b.enq(self.q("leaf_in", shard), key)
+        # Leaf exits return a window credit to the query stage (see
+        # _traverse_semantics); declare the edge so the static channel
+        # graph sees the credit queue's producer.
+        b.enq(self.q("credits", shard), found)
         return b.finish()
 
     def _leaf_dfg(self, shard: int):

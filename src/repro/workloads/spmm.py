@@ -304,6 +304,11 @@ class SpMMWorkload:
         b.lt(nxt, one)
         b.enq(self.q(f"{side}_in", shard), addr)
         b.enq(self.q(f"{side}_in", shard), nxt)
+        if side == "a":
+            # SA also forwards the pair stream to SB (see
+            # _stream_semantics); declare the edge so the static channel
+            # graph sees pair_b's producer.
+            b.enq(self.q("pair_b", shard), nxt)
         return b.finish()
 
     def _intersect_dfg(self, shard: int):

@@ -1,0 +1,359 @@
+"""Static pipeline verifier + armable sanitizer (repro.analysis).
+
+The contract under test: every registered workload's compiled program
+earns a deadlock-freedom certificate, each of the four canonical build
+mistakes — an undersized queue, a dropped credit declaration, a
+dangling DFG node, an over-budget stage — is rejected *statically* with
+a finding naming the offending queue/stage/node, and arming the runtime
+sanitizer leaves simulation results bit-identical on both engines.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (AnalysisError, SanitizerError,
+                            SimulationSanitizer, analyze_program,
+                            find_cycle_within,
+                            strongly_connected_components)
+from repro.cgra.fabric import FabricSpec
+from repro.cgra.mapper import UnmappableStageError, map_dfg
+from repro.config import SystemConfig
+from repro.core import PEProgram, Program, StageSpec, System, STOP_VALUE
+from repro.harness import APP_INPUTS, prepare_input, run_experiment
+from repro.harness.run import analyze_workload
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+from repro.queues.queue import Queue
+
+_CONFIG = SystemConfig(n_pes=1)
+
+
+def _source_dfg(name, out_q):
+    b = DFGBuilder(name)
+    counter = b.reg("i")
+    one = b.const(1)
+    nxt = b.add(counter, one)
+    b.set_reg(counter, nxt)
+    b.enq(out_q, nxt)
+    return b.finish()
+
+
+def _sink_dfg(name, in_q):
+    # The dequeued value folds into loop-carried state so nothing
+    # dangles and the channel is a data channel, not a sync channel.
+    b = DFGBuilder(name)
+    acc = b.reg("acc")
+    x = b.deq(in_q)
+    total = b.add(acc, x)
+    b.set_reg(acc, total)
+    return b.finish()
+
+
+def _toy_program(queue_spec=None, src_dfg=None):
+    """Two stages on one PE: toy.src -> toy.q -> toy.snk."""
+    seen = []
+
+    def producer(ctx):
+        for i in range(10):
+            yield from ctx.enq("toy.q", i)
+        yield from ctx.enq("toy.q", STOP_VALUE, is_control=True)
+
+    def consumer(ctx):
+        while True:
+            token = yield from ctx.deq("toy.q")
+            if token.is_control:
+                return
+            seen.append(token.value)
+
+    pe = PEProgram(
+        shard=0,
+        queue_specs=[queue_spec or QueueSpec("toy.q")],
+        stage_specs=[
+            StageSpec("toy.src", src_dfg or _source_dfg("toy.src", "toy.q"),
+                      producer),
+            StageSpec("toy.snk", _sink_dfg("toy.snk", "toy.q"), consumer),
+        ])
+    return Program("toy", [pe], AddressSpace(), MemoryMap(),
+                   result_fn=lambda: seen)
+
+
+def _findings(report, pass_name):
+    return [f for f in report.findings if f.pass_name == pass_name]
+
+
+class TestToyBaseline:
+    def test_healthy_program_certifies(self):
+        report = analyze_program(_toy_program(), _CONFIG)
+        assert report.ok
+        assert report.certificate["verdict"] == "deadlock-free"
+        assert "toy.q" in report.certificate["channels"]
+        report.require_clean()  # must not raise
+
+    def test_require_clean_raises_on_errors(self):
+        config = SystemConfig(n_pes=1, queue_mem_bytes=64)
+        report = analyze_program(
+            _toy_program(queue_spec=QueueSpec("toy.q", entry_words=16)),
+            config)
+        with pytest.raises(AnalysisError, match="toy"):
+            report.require_clean()
+
+
+class TestSeededMutations:
+    """Each seeded build mistake must be caught statically, with the
+    offending queue/stage/node named in the finding."""
+
+    def test_undersized_queue_memory(self):
+        # 64 bytes = 8 words of queue memory; a 16-word entry floors
+        # the queue above the whole budget.
+        config = SystemConfig(n_pes=1, queue_mem_bytes=64)
+        report = analyze_program(
+            _toy_program(queue_spec=QueueSpec("toy.q", entry_words=16)),
+            config)
+        assert not report.ok
+        assert report.certificate is None
+        budget = _findings(report, "deadlock.budget")
+        assert budget and "'toy.q'" in budget[0].message
+        assert "does not fit" in budget[0].message
+
+    def test_dropped_credit_declaration(self):
+        # toy.src enqueues, but the spec only grants credits to a ghost
+        # producer: the enqueue would raise at runtime.
+        spec = QueueSpec("toy.q", producers=("toy.ghost", "toy.other"))
+        report = analyze_program(_toy_program(queue_spec=spec), _CONFIG)
+        assert not report.ok
+        credit = _findings(report, "deadlock.credit")
+        errors = [f for f in credit if f.severity == "error"]
+        assert errors and "'toy.src'" in errors[0].message
+        assert "without a credit" in errors[0].message
+        # ...and the reserved-but-unused shares are flagged too.
+        assert any(f.severity == "warning" for f in credit)
+
+    def test_dangling_dfg_node(self):
+        b = DFGBuilder("toy.src")
+        counter = b.reg("i")
+        one = b.const(1)
+        nxt = b.add(counter, one)
+        b.set_reg(counter, nxt)
+        b.enq("toy.q", nxt)
+        dead = b.mul(nxt, nxt)  # result never consumed
+        report = analyze_program(_toy_program(src_dfg=b.finish()), _CONFIG)
+        assert not report.ok
+        found = _findings(report, "dfg.dead")
+        assert found and found[0].subject == f"toy.src.n{dead.node_id}"
+        assert "never consumed" in found[0].message
+
+    def test_over_budget_stage(self):
+        # 17 adds on one dataflow level exceed the 16-column fabric; the
+        # pass must name the first node that does not fit, and the
+        # mapper must agree the stage is unmappable.
+        b = DFGBuilder("toy.src")
+        counter = b.reg("i")
+        one = b.const(1)
+        nxt = b.add(counter, one)
+        b.set_reg(counter, nxt)
+        lanes = [b.add(nxt, one) for _ in range(17)]
+        for lane in lanes:
+            b.enq("toy.q", lane)
+        dfg = b.finish()
+        report = analyze_program(_toy_program(src_dfg=dfg), _CONFIG)
+        assert not report.ok
+        feas = _findings(report, "dfg.feasibility")
+        assert feas and feas[0].subject == f"toy.src.n{lanes[16].node_id}"
+        assert "needs 17 columns" in feas[0].message
+        assert not report.stages["toy.src"]["fits"]
+        with pytest.raises(UnmappableStageError):
+            map_dfg(dfg, FabricSpec.from_config(_CONFIG.fabric))
+
+
+class TestWorkloadCertification:
+    @pytest.mark.parametrize("app", sorted(APP_INPUTS))
+    def test_every_workload_certifies(self, app):
+        report = analyze_workload(app, APP_INPUTS[app][0], scale=0.1)
+        assert report.ok, [f.message for f in report.errors]
+        assert report.certificate["verdict"] == "deadlock-free"
+        assert all(rec["fits"] for rec in report.stages.values())
+
+    def test_static_mode_certifies(self):
+        report = analyze_workload("bfs", "Hu", system="static", scale=0.1)
+        assert report.ok
+        assert report.mode == "static"
+
+    def test_sync_channels_recorded(self):
+        # silo's traversal credits and spmm's producer-pacing channels
+        # are pure synchronization: the certificate must record them as
+        # assumptions rather than silently dropping their wait edges.
+        silo = analyze_workload("silo", "YC", scale=0.1)
+        assert any("credits" in name
+                   for name in silo.certificate["sync_channels"])
+        spmm = analyze_workload("spmm", APP_INPUTS["spmm"][0], scale=0.1)
+        sync = spmm.certificate["sync_channels"]
+        assert any("next_a" in name for name in sync)
+        assert any("next_b" in name for name in sync)
+
+    def test_json_report_is_deterministic(self):
+        report = analyze_workload("bfs", "Hu", scale=0.1)
+        text = report.to_json()
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)
+        assert list(payload["certificate"]) == sorted(payload["certificate"])
+        assert text == analyze_workload("bfs", "Hu", scale=0.1).to_json()
+
+
+class TestGraphWalkers:
+    def test_scc_partition(self):
+        edges = {1: [2], 2: [3], 3: [1], 4: [1]}
+        sccs = strongly_connected_components(
+            [1, 2, 3, 4], lambda n: edges.get(n, []))
+        assert sorted(sorted(s) for s in sccs) == [[1, 2, 3], [4]]
+
+    def test_find_cycle_within(self):
+        edges = {1: [(2, "a")], 2: [(3, "b"), (5, "x")], 3: [(1, "c")]}
+        cycle = find_cycle_within({1, 2, 3},
+                                  lambda n: iter(edges.get(n, [])))
+        nodes = [n for n, _ in cycle]
+        assert sorted(nodes) == [1, 2, 3]
+        labels = {label for _, label in cycle}
+        assert labels == {"a", "b", "c"}
+
+    def test_acyclic_subgraph_has_no_cycle(self):
+        edges = {1: [(2, "a")], 2: []}
+        assert find_cycle_within({1, 2},
+                                 lambda n: iter(edges.get(n, []))) == []
+
+
+class TestSanitizerUnit:
+    def _system(self):
+        return System(_CONFIG, _toy_program(), mode="fifer")
+
+    def test_armed_run_matches_unarmed(self):
+        plain = self._system().run()
+        armed_system = self._system()
+        sanitizer = SimulationSanitizer().arm(armed_system)
+        armed = armed_system.run()
+        sanitizer.disarm()
+        assert armed.cycles == plain.cycles
+        assert armed.result == plain.result == list(range(10))
+        assert sanitizer.checked_quanta > 0
+
+    def test_deep_mode_audits_events(self):
+        system = self._system()
+        sanitizer = SimulationSanitizer(deep=True).arm(system)
+        result = system.run()
+        sanitizer.disarm()
+        assert result.result == list(range(10))
+        assert sanitizer.checked_events > 0
+
+    def test_disarm_detaches_owned_bus(self):
+        system = self._system()
+        sanitizer = SimulationSanitizer().arm(system)
+        assert system.telemetry is not None
+        bus = sanitizer.bus
+        sanitizer.disarm()
+        assert system.telemetry is None
+        assert sanitizer not in bus.samplers
+        with pytest.raises(RuntimeError):
+            SimulationSanitizer().arm(system).arm(system)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError, match="stride must be positive"):
+            SimulationSanitizer(stride=0)
+
+    def test_detects_occupancy_corruption(self):
+        system = self._system()
+        sanitizer = SimulationSanitizer().arm(system)
+        system.queues["toy.q"]._occupancy_words += 1
+        with pytest.raises(SanitizerError, match="stored tokens"):
+            sanitizer.check(system)
+
+    def test_detects_credit_leak(self):
+        def noop(ctx):
+            yield from ()
+
+        dfg_a = _source_dfg("two.a", "two.q")
+        dfg_b = _source_dfg("two.b", "two.q")
+        pe = PEProgram(
+            shard=0,
+            queue_specs=[QueueSpec("two.q",
+                                   producers=("two.a", "two.b"))],
+            stage_specs=[
+                StageSpec("two.a", dfg_a, noop),
+                StageSpec("two.b", dfg_b, noop),
+                StageSpec("two.snk", _sink_dfg("two.snk", "two.q"), noop),
+            ])
+        program = Program("two", [pe], AddressSpace(), MemoryMap(),
+                          result_fn=lambda: None)
+        system = System(_CONFIG, program, mode="fifer")
+        sanitizer = SimulationSanitizer().arm(system)
+        credits = system.queues["two.q"]._credits
+        credits[next(iter(credits))] -= 1
+        with pytest.raises(SanitizerError, match="credit leaked"):
+            sanitizer.check(system)
+
+    def test_detects_double_buffer_violation(self):
+        system = self._system()
+        sanitizer = SimulationSanitizer().arm(system)
+        system.pes[0]._reconfig_remaining = 5.0
+        with pytest.raises(SanitizerError, match="double-buffer"):
+            sanitizer.check(system)
+
+    def test_detects_clock_rollback(self):
+        system = self._system()
+        sanitizer = SimulationSanitizer().arm(system)
+        sanitizer._pe_clock[0] = system.pes[0].now + 100.0
+        with pytest.raises(SanitizerError, match="clock moved backwards"):
+            sanitizer.check(system)
+
+
+# Tiny scales: the sanitizer's invariants are scale-independent, and the
+# differential check runs each workload three times (two engines).
+_SANITIZE_SCALES = {"spmm": 0.3, "silo": 0.5}
+_APPS = sorted(APP_INPUTS)
+
+
+@pytest.fixture(scope="module")
+def sanitize_inputs():
+    return {app: prepare_input(app, APP_INPUTS[app][0],
+                               scale=_SANITIZE_SCALES.get(app, 0.1))
+            for app in _APPS}
+
+
+@pytest.mark.parametrize("app", _APPS)
+def test_sanitized_runs_are_bit_identical(app, sanitize_inputs):
+    """Every workload that passes the analyzer completes under both
+    engines with the sanitizer armed, at the unarmed cycle count."""
+    code = APP_INPUTS[app][0]
+    prepared = sanitize_inputs[app]
+    plain = run_experiment(app, code, "fifer", prepared=prepared)
+    armed = run_experiment(app, code, "fifer", prepared=prepared,
+                           sanitize=True)
+    naive = run_experiment(app, code, "fifer", prepared=prepared,
+                           engine="naive", sanitize=True)
+    assert plain.correct and armed.correct and naive.correct
+    assert armed.cycles == plain.cycles == naive.cycles
+
+
+class TestValidationErrors:
+    def test_queue_spec_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="entry_words must be positive"):
+            QueueSpec("q", entry_words=0)
+        with pytest.raises(ValueError, match="weight must be positive"):
+            QueueSpec("q", weight=0)
+
+    def test_queue_rejects_zero_entry_words(self):
+        with pytest.raises(ValueError, match="entry_words must be positive"):
+            Queue("q", capacity_words=8, entry_words=0)
+
+    def test_config_names_offending_field(self):
+        with pytest.raises(ValueError, match="n_drms must be >= 0"):
+            SystemConfig(n_drms=-1)
+        with pytest.raises(ValueError, match="drm_issue_width"):
+            SystemConfig(drm_issue_width=0)
+        with pytest.raises(ValueError, match="drm_max_outstanding"):
+            SystemConfig(drm_max_outstanding=0)
+        with pytest.raises(ValueError, match="max_queues_per_pe"):
+            SystemConfig(max_queues_per_pe=0)
+        with pytest.raises(ValueError, match="deadlock_quanta"):
+            SystemConfig(deadlock_quanta=0)
