@@ -5,14 +5,25 @@ zero-cost no-op when nothing is listening: every publish site is a
 single ``if probe is not None`` attribute check, and an attached bus
 with no sinks adds only one guarded method call per (rare) event site.
 This benchmark measures simulated-run wall time for the same program in
-three states —
+four states —
 
-* ``off``   — no bus attached (every probe is ``None``),
-* ``armed`` — bus attached, no sinks subscribed,
-* ``on``    — bus attached with a recording sink (full event stream),
+* ``off``      — no bus attached (every probe is ``None``),
+* ``armed``    — bus attached, no sinks subscribed,
+* ``profiled`` — bus attached, kind-filtered :class:`WaitForProfiler`
+  subscribed (the ``repro profile`` configuration),
+* ``on``       — bus attached with a recording sink (full event stream),
 
-and asserts the ``armed`` state stays within 5% of ``off`` (min-of-N
-timing to suppress scheduler noise).
+and asserts the ``armed`` state stays within 5% of ``off`` and the
+``profiled`` state within 10%. The profiler budget holds because its
+kind-filtered subscription keeps the bus from even constructing the
+per-token queue/cache events that dominate the ``on`` stream.
+
+Methodology: states run interleaved in rotating order so no state
+systematically inherits the machine state its predecessor left behind,
+and the asserted overhead is the ratio of per-state minimums over all
+rounds — scheduler preemption and allocator-layout jitter only ever
+add time, so the minimum is the estimator that converges on the true
+cost as rounds accumulate.
 """
 
 import time
@@ -22,55 +33,77 @@ from repro.config import SystemConfig
 from repro.core import System
 from repro.datasets.graphs import power_law_graph
 from repro.harness import format_table
+from repro.profiling import attach_profiler
 from repro.stats.telemetry import EventBus, RecordingSink
 from repro.workloads import bfs
 
-REPEATS = 5
-OVERHEAD_BUDGET = 0.05  # acceptance: < 5% with no sinks attached
+REPEATS = 10
+OVERHEAD_BUDGET = 0.05   # acceptance: < 5% with no sinks attached
+PROFILER_BUDGET = 0.10   # acceptance: < 10% with the profiler armed
+
+_STATES = ("off", "armed", "profiled", "on")
 
 
-def _run_once(attach_bus: bool, subscribe: bool) -> float:
+def _run_once(state: str) -> float:
     config = SystemConfig()
-    graph = power_law_graph(600, 8.0, seed=3)
+    graph = power_law_graph(2000, 8.0, seed=3)
     program, _ = bfs.build(graph, config, "fifer")
     system = System(config, program, mode="fifer")
-    if attach_bus:
+    if state != "off":
         bus = EventBus()
         system.attach_telemetry(bus)
-        if subscribe:
+        if state == "profiled":
+            attach_profiler(system, bus=bus)
+        elif state == "on":
             bus.subscribe(RecordingSink())
     start = time.perf_counter()
     system.run()
     return time.perf_counter() - start
 
 
-def _best(attach_bus: bool, subscribe: bool) -> float:
-    return min(_run_once(attach_bus, subscribe) for _ in range(REPEATS))
+def _measure() -> dict:
+    """``state -> [wall time per round]``, states interleaved.
+
+    The order rotates every round so no state systematically inherits
+    the machine state its predecessor left behind (e.g. the allocation
+    churn of the heavy ``on`` run)."""
+    times = {state: [] for state in _STATES}
+    for round_no in range(REPEATS):
+        shift = round_no % len(_STATES)
+        for state in _STATES[shift:] + _STATES[:shift]:
+            times[state].append(_run_once(state))
+    return times
 
 
 def run_overhead():
-    off = _best(False, False)
-    armed = _best(True, False)
-    on = _best(True, True)
-    rows = [
-        ["off (no bus)", f"{off * 1e3:.1f}", "-"],
-        ["armed (bus, no sinks)", f"{armed * 1e3:.1f}",
-         f"{(armed / off - 1.0):+.1%}"],
-        ["on (recording sink)", f"{on * 1e3:.1f}",
-         f"{(on / off - 1.0):+.1%}"],
-    ]
+    times = _measure()
+    best = {state: min(times[state]) for state in _STATES}
+    overhead = {state: best[state] / best["off"] - 1.0
+                for state in _STATES if state != "off"}
+    labels = {
+        "off": "off (no bus)",
+        "armed": "armed (bus, no sinks)",
+        "profiled": "profiled (wait-for profiler)",
+        "on": "on (recording sink)",
+    }
+    rows = [[labels[state], f"{best[state] * 1e3:.1f}",
+             f"{overhead[state]:+.1%}" if state in overhead else "-"]
+            for state in _STATES]
     table = format_table(
         ["telemetry state", "best wall time (ms)", "vs off"], rows,
-        title=(f"telemetry overhead, bfs on a 600-vertex power-law graph "
-               f"(min of {REPEATS} runs; budget: armed < "
-               f"{OVERHEAD_BUDGET:.0%})"))
+        title=(f"telemetry overhead, bfs on a 2000-vertex power-law graph "
+               f"(min of {REPEATS} interleaved rounds; budgets: "
+               f"armed < {OVERHEAD_BUDGET:.0%}, profiled < "
+               f"{PROFILER_BUDGET:.0%})"))
     emit("telemetry_overhead", table)
-    return off, armed, on
+    return overhead
 
 
 def test_telemetry_overhead(benchmark):
-    off, armed, _on = benchmark.pedantic(run_overhead, rounds=1,
-                                         iterations=1)
-    assert armed <= off * (1.0 + OVERHEAD_BUDGET), (
-        f"armed telemetry overhead {(armed / off - 1.0):+.1%} exceeds "
+    overhead = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    assert overhead["armed"] <= OVERHEAD_BUDGET, (
+        f"armed telemetry overhead {overhead['armed']:+.1%} exceeds "
         f"{OVERHEAD_BUDGET:.0%}")
+    assert overhead["profiled"] <= PROFILER_BUDGET, (
+        f"armed-profiler overhead {overhead['profiled']:+.1%} exceeds "
+        f"{PROFILER_BUDGET:.0%}")

@@ -1,0 +1,102 @@
+"""Regenerate the committed benchmark baselines in ``results/history/``.
+
+The history directory holds one profiled run manifest per
+(app, engine) point of a small, deterministic grid: the Fig. 13/14
+representative input of each paper workload on 16-PE Fifer, simulated
+with both the fast and the naive engine at a reduced scale. CI's
+bench-regression job re-runs the same grid and flags drift with
+``python -m repro bench-diff benchmarks/results/history <fresh-dir>``
+(cycle counts and blame-matrix shares are gated; wall time only
+warns, since baselines and CI run on different machines).
+
+Run from the repository root after an intentional performance change:
+
+    PYTHONPATH=src python benchmarks/make_history_baselines.py
+
+then commit the refreshed manifests together with the change that
+moved them. ``--out DIR`` redirects the output (CI uses this to
+produce the "current" side of the diff); ``--workers N`` bounds the
+process pool. Manifests are written with a pinned ``created``
+timestamp so regeneration is reproducible modulo wall time.
+
+Deliberately *not* named ``bench_*.py``: this is a maintenance script,
+not a pytest benchmark, and must not enter the benchmark registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import json
+
+from repro.core.system import ENGINES
+from repro.harness import SweepPoint, run_sweep
+from repro.harness.run import default_scale
+from repro.stats.manifest import build_manifest
+
+#: Representative Fig. 13/14 input per paper workload (bench_common's
+#: REPRESENTATIVE, frozen here so baselines don't shift if that does).
+GRID_APPS = (("bfs", "In"), ("cc", "Hu"), ("prd", "Ci"),
+             ("radii", "Dy"), ("spmm", "FS"), ("silo", "YC"))
+
+#: Multiplier on each input's default scale: small enough that the
+#: naive engine finishes in seconds, large enough that every stage
+#: activates and the blame matrix is non-trivial.
+SCALE_MULT = 0.25
+
+#: Pinned manifest timestamp (epoch seconds) for reproducibility.
+CREATED = 0.0
+
+HISTORY_DIR = pathlib.Path(__file__).resolve().parent / "results" / "history"
+
+
+def baseline_points() -> list:
+    return [SweepPoint(app, code, "fifer",
+                       scale=default_scale(app, code) * SCALE_MULT,
+                       engine=engine, profile=True)
+            for app, code in GRID_APPS
+            for engine in ENGINES]
+
+
+def generate(out_dir: pathlib.Path, workers=None) -> list:
+    points = baseline_points()
+    results = run_sweep(points, workers=workers)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for stale in out_dir.glob("*.json"):
+        stale.unlink()
+    paths = []
+    for point, result in zip(points, results):
+        manifest = build_manifest(result, created=CREATED)
+        # Name files ourselves (engine in the stem) instead of
+        # write_manifest's collision suffixes: committed baselines
+        # should have self-describing, order-independent names.
+        path = out_dir / (f"{point.app}-{point.input_code}-"
+                          f"{point.engine}.json")
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                        + "\n")
+        paths.append(path)
+    return paths
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=HISTORY_DIR,
+                        help=f"output directory (default: {HISTORY_DIR})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: all cores)")
+    args = parser.parse_args(argv)
+    paths = generate(args.out, workers=args.workers)
+    for path in paths:
+        print(path)
+    print(f"{len(paths)} baseline manifest(s) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

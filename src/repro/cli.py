@@ -30,6 +30,15 @@ Commands:
 * ``report DIR [DIR ...]`` — load run manifests (written by
   ``run_experiment(..., manifest_dir=...)`` or ``stats --manifest-dir``)
   and tabulate cycles, CPI shares, and relative speedups across runs.
+* ``profile APP INPUT [--what-if TARGET=PCT] [--format text|json|
+  folded]`` — run with the wait-for profiler armed and print the blame
+  matrix, the critical path, and Coz-style what-if estimates;
+  ``--validate`` re-simulates each what-if config to report prediction
+  error. ``folded`` emits flamegraph.pl/speedscope folded stacks.
+* ``bench-diff BASELINE CURRENT`` — regression observatory: compare
+  manifest directories and flag cycle/blame/wall-time drifts beyond
+  thresholds (exit 1 on failures). Committed baselines live under
+  ``benchmarks/results/history/``.
 """
 
 from __future__ import annotations
@@ -317,6 +326,109 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.profiling import parse_whatif, predict_speedup
+    _check_input(args.app, args.input)
+    try:
+        whatifs = [parse_whatif(spec) for spec in args.what_if]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    result = run_experiment(args.app, args.input, args.system,
+                            variant=args.variant, scale=args.scale,
+                            seed=args.seed, engine=args.engine,
+                            profile=True)
+    profile = result.profile
+    predictions = [predict_speedup(profile, target, percent)
+                   for target, percent in whatifs]
+    if args.validate:
+        from repro.profiling import validate_prediction
+        for prediction in predictions:
+            validate_prediction(prediction, args.app, args.input,
+                                args.system, variant=args.variant,
+                                scale=args.scale, seed=args.seed,
+                                engine=args.engine)
+
+    try:
+        out = open(args.out, "w") if args.out else sys.stdout
+    except OSError as exc:
+        raise SystemExit(f"cannot write {args.out}: {exc}")
+    try:
+        if args.format == "folded":
+            out.write(profile.critical_path().folded())
+        elif args.format == "json":
+            document = profile.as_dict()
+            if predictions:
+                document["what_if"] = [p.as_dict() for p in predictions]
+            json.dump(document, out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            _print_profile_text(args, result, predictions, out)
+    finally:
+        if args.out:
+            out.close()
+    if args.out:
+        print(f"{args.app}/{args.input}: {args.format} profile written "
+              f"to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _print_profile_text(args, result, predictions, out) -> None:
+    profile = result.profile
+    print(f"{args.app}/{args.input} on {args.system} ({args.variant}): "
+          f"{result.cycles:,.0f} cycles, {profile.profiler.n_events:,} "
+          f"profiler events", file=out)
+    rollup = profile.blame.rollup().waitee_totals()
+    total = sum(rollup.values()) or 1.0
+    rows = [[waitee, f"{cycles:,.0f}", f"{cycles / total:.1%}"]
+            for waitee, cycles in rollup.items()]
+    print(file=out)
+    print(format_table(["waited on", "cycles", "share"], rows,
+                       title="blame matrix (all PEs, stalled cycles by "
+                             "culprit)"), file=out)
+    path = profile.critical_path()
+    rows = [[f"pe{seg.pe}", seg.kind, seg.name or "-",
+             f"{seg.cycles:,.0f}"]
+            for seg in path.ranked()[:args.top] if seg.cycles > 0]
+    print(file=out)
+    print(format_table(["pe", "kind", "component", "cycles"], rows,
+                       title=f"critical path (top {args.top} of "
+                             f"{len(path.ranked())} merged segments, "
+                             f"weight {path.total_weight():,.0f})"),
+          file=out)
+    if predictions:
+        rows = []
+        for p in predictions:
+            row = [p.target, f"{p.percent:.0f}%",
+                   f"{p.predicted_cycles:,.0f}",
+                   f"{p.predicted_speedup:.3f}x"]
+            if p.actual_cycles == p.actual_cycles:  # validated
+                row += [f"{p.actual_cycles:,.0f}", f"{p.error:.1%}"]
+            else:
+                row += ["-", "-"]
+            rows.append(row)
+        print(file=out)
+        print(format_table(["target", "speedup", "predicted cycles",
+                            "predicted", "actual cycles", "error"], rows,
+                           title="what-if estimates (Coz-style virtual "
+                                 "speedups)"), file=out)
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.profiling import bench_diff
+    try:
+        report = bench_diff(args.baseline, args.current,
+                            cycle_tol=args.cycle_tol,
+                            blame_tol=args.blame_tol,
+                            wall_ratio=args.wall_ratio)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     manifests = []
     try:
@@ -419,6 +531,59 @@ def main(argv=None) -> int:
                         help="emit machine-readable findings and the "
                              "deadlock-freedom certificate")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_profile = sub.add_parser(
+        "profile", help="wait-for blame matrix, critical path, what-ifs")
+    _add_common(p_profile)
+    p_profile.add_argument("--system", choices=("static", "fifer"),
+                           default="fifer")
+    p_profile.add_argument("--variant", choices=("decoupled", "merged"),
+                           default="decoupled")
+    p_profile.add_argument("--what-if", action="append", default=[],
+                           metavar="TARGET=PCT",
+                           help="virtual-speedup estimate: a stage/DRM "
+                                "base name, 'memory', or 'reconfig', and "
+                                "the speedup in percent (repeatable, e.g. "
+                                "--what-if bfs.fetch=50 --what-if "
+                                "memory=100)")
+    p_profile.add_argument("--validate", action="store_true",
+                           help="re-simulate each what-if config and "
+                                "report the prediction error")
+    p_profile.add_argument("--format", choices=("text", "json", "folded"),
+                           default="text",
+                           help="text: tables; json: full profile "
+                                "document; folded: flamegraph.pl/"
+                                "speedscope folded stacks")
+    p_profile.add_argument("--top", type=int, default=12, metavar="N",
+                           help="critical-path segments to show (text)")
+    p_profile.add_argument("--out", default=None, metavar="FILE",
+                           help="write output here (default: stdout)")
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_diff = sub.add_parser(
+        "bench-diff", help="diff manifest dirs against a baseline")
+    p_diff.add_argument("baseline", metavar="BASELINE",
+                        help="baseline manifest directory (e.g. "
+                             "benchmarks/results/history/baseline)")
+    p_diff.add_argument("current", metavar="CURRENT",
+                        help="freshly produced manifest directory")
+    from repro.profiling import (DEFAULT_BLAME_TOL, DEFAULT_CYCLE_TOL,
+                                 DEFAULT_WALL_RATIO)
+    p_diff.add_argument("--cycle-tol", type=float,
+                        default=DEFAULT_CYCLE_TOL, metavar="FRAC",
+                        help="relative cycle drift that fails the diff "
+                             f"(default {DEFAULT_CYCLE_TOL})")
+    p_diff.add_argument("--blame-tol", type=float,
+                        default=DEFAULT_BLAME_TOL, metavar="FRAC",
+                        help="absolute blame-share drift that fails the "
+                             f"diff (default {DEFAULT_BLAME_TOL})")
+    p_diff.add_argument("--wall-ratio", type=float,
+                        default=DEFAULT_WALL_RATIO, metavar="X",
+                        help="wall-time ratio that warns (host-dependent; "
+                             f"default {DEFAULT_WALL_RATIO})")
+    p_diff.add_argument("--json", action="store_true",
+                        help="emit machine-readable findings")
+    p_diff.set_defaults(func=cmd_bench_diff)
 
     p_report = sub.add_parser(
         "report", help="tabulate run manifests across runs")

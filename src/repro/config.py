@@ -129,6 +129,14 @@ class SystemConfig:
     max_simd_replication: "int | None" = None
     quantum: int = 64
     deadlock_quanta: int = 2_000
+    # What-if speed factors for stage/DRM datapaths: ((name, factor),
+    # ...) where ``name`` is a base component name ("bfs.fetch" matches
+    # every "bfs.fetch@shard" replica) or an exact per-shard name, and
+    # ``factor`` > 0 divides the component's cycle costs (queue I/O and
+    # compute for stages, issue throughput for DRMs). Used by the causal
+    # what-if validator (repro.profiling.whatif); the default () leaves
+    # every cost expression untouched, bit for bit.
+    stage_speedup: tuple = ()
 
     def __post_init__(self):
         if self.n_pes <= 0:
@@ -158,6 +166,12 @@ class SystemConfig:
         if (self.max_simd_replication is not None
                 and self.max_simd_replication < 1):
             raise ValueError("max_simd_replication must be >= 1 or None")
+        for entry in self.stage_speedup:
+            if (not isinstance(entry, tuple) or len(entry) != 2
+                    or not isinstance(entry[0], str) or entry[1] <= 0):
+                raise ValueError(
+                    f"stage_speedup entries must be (stage_name, factor>0) "
+                    f"tuples, got {entry!r}")
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given fields replaced."""

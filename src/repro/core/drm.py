@@ -104,6 +104,9 @@ class DRM:
         self.loads = 0
         self.miss_stall_cycles = 0.0
         self.busy_cycles = 0.0
+        # Name of the output queue the last blocked step waited on
+        # (written only on blocked paths; read by the drm.blocked probe).
+        self._blocked_on: Optional[str] = None
         # Optional telemetry Probe (repro.stats.telemetry).
         self.probe = None
 
@@ -135,6 +138,7 @@ class DRM:
     def _step_scan(self) -> Optional[float]:
         out = self._out_q
         if not out.can_enq(self.producer_key):
+            self._blocked_on = out.name
             return None
         cost = self._access_cost((self._scan_addr,))
         out.enq(self.memmap.read(self._scan_addr), producer=self.producer_key)
@@ -151,9 +155,10 @@ class DRM:
 
     def _step_control(self, token) -> Optional[float]:
         targets = self._target_queues
-        if not all(t.can_enq(self.producer_key, is_control=True)
-                   for t in targets):
-            return None
+        for target in targets:
+            if not target.can_enq(self.producer_key, is_control=True):
+                self._blocked_on = target.name
+                return None
         self.in_q.deq()
         for target in targets:
             target.enq(token.value, is_control=True,
@@ -187,6 +192,7 @@ class DRM:
         else:
             out = self._out_q
         if not out.can_enq(self.producer_key):
+            self._blocked_on = out.name
             return None
         # Inlined _access_cost (this is the DRM's per-token hot path).
         worst = 0.0
@@ -281,9 +287,10 @@ class DRM:
                     self._scan_stride = int(stride)
                     cost = 1.0
             if cost is None:  # blocked on a full output queue
-                if self.probe is not None and self.probe.bus.sinks:
+                if (self.probe is not None
+                        and "drm.blocked" in self.probe.bus.wants):
                     self.probe.emit("drm.blocked", drm=self.spec.name,
-                                    pe=self.pe_id)
+                                    pe=self.pe_id, queue=self._blocked_on)
                 break
             spent += cost
         self.busy_cycles += spent

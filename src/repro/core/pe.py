@@ -227,6 +227,13 @@ class ProcessingElement:
             stall = latency - self.l1._latency
             if stall > 0.0:
                 counters["stall_mem"] = counters.get("stall_mem", 0.0) + stall
+                if (self.probe is not None
+                        and "pe.stall" in self.probe.bus.wants):
+                    # Timestamped at the start of this quantum slice
+                    # (self.now advances only after _execute returns).
+                    self.probe.emit("pe.stall", cycle=self.now,
+                                    pe=self.pe_id, bucket="stall_mem",
+                                    cycles=stall, stage=stage.name)
                 return None, stall
             return None, 0.0
         if kind == "store":
@@ -252,8 +259,12 @@ class ProcessingElement:
                 return None
             return queue.peek(), 0.0
         if kind == "cycles":
-            counters["issued"] = counters.get("issued", 0.0) + request[1]
-            return None, float(request[1])
+            cost = float(request[1])
+            speed = stage.speed
+            if speed != 1.0:
+                cost = cost / speed
+            counters["issued"] = counters.get("issued", 0.0) + cost
+            return None, cost
         raise ValueError(f"stage {stage.name!r}: unknown request {request!r}")
 
     def _execute(self, stage: StageInstance, budget: float) -> float:
@@ -306,6 +317,38 @@ class ProcessingElement:
                 if not self._queue(stage.pending[1]).control_only:
                     data_starved = True
         return "stall_queue_empty" if data_starved else "idle"
+
+    def _blocked_cause(self) -> tuple:
+        """``(bucket, queue)`` for a blocked cycle, in one stage scan.
+
+        Same attribution order as :meth:`_classify_blocked`, but also
+        names the queue the PE is waiting on: for "queue full" the
+        first unsatisfiable enqueue's target, for "queue empty" the
+        first starved data queue, for "idle" the first blocked
+        control-only dequeue (the barrier the PE sits on). Only called
+        from probe emit sites — the uninstrumented path keeps the
+        cheaper bucket-only scan.
+        """
+        starved = None
+        fallback = None
+        for stage in self.stages:
+            if stage.done or stage.pending is None:
+                continue
+            request = stage.pending
+            kind = request[0]
+            if kind == "enq":
+                if not self._satisfiable(stage, request):
+                    return "stall_queue_full", request[1]
+            elif kind in ("deq", "peek") and not self._satisfiable(
+                    stage, request):
+                if not self._queue(request[1]).control_only:
+                    if starved is None:
+                        starved = request[1]
+                elif fallback is None:
+                    fallback = request[1]
+        if starved is not None:
+            return "stall_queue_empty", starved
+        return "idle", fallback
 
     def _begin_reconfiguration(self, incoming: StageInstance) -> None:
         outgoing_depth = (self.current.mapping.depth_cycles
@@ -389,11 +432,15 @@ class ProcessingElement:
                     if fast:
                         remaining = self._stall_fast(remaining)
                         continue
-                    bucket = self._classify_blocked()
-                    self.counters.add(bucket, 1.0)
-                    if self.probe is not None and self.probe.bus.sinks:
+                    if (self.probe is not None
+                            and "pe.stall" in self.probe.bus.wants):
+                        bucket, blocked_queue = self._blocked_cause()
+                        self.counters.add(bucket, 1.0)
                         self.probe.emit("pe.stall", cycle=self.now,
-                                        pe=self.pe_id, bucket=bucket)
+                                        pe=self.pe_id, bucket=bucket,
+                                        queue=blocked_queue)
+                    else:
+                        self.counters.add(self._classify_blocked(), 1.0)
                     remaining -= 1.0
                     self.now += 1.0
                     continue
@@ -427,13 +474,20 @@ class ProcessingElement:
         bit-for-bit); otherwise a tight replay loop preserves the exact
         rounding of repeated ``+= 1.0``.
         """
-        bucket = self._classify_blocked()
         steps = math.ceil(remaining - _EPS)
-        if self.probe is not None and self.probe.bus.sinks:
+        if self.probe is not None and "pe.stall" in self.probe.bus.wants:
             # One aggregated event for the whole blocked span (the
-            # naive engine emits one event per cycle).
-            self.probe.emit("pe.stall", cycle=self.now, pe=self.pe_id,
-                            bucket=bucket, cycles=float(steps))
+            # naive engine emits one event per cycle). The blocked
+            # cause cannot change mid-quantum (queues only move at
+            # quantum boundaries), so one classification is exact.
+            # ``wants`` is already checked, so publish directly.
+            bucket, blocked_queue = self._blocked_cause()
+            self.probe.bus.publish(
+                "pe.stall", self.probe.source, self.now,
+                {"pe": self.pe_id, "bucket": bucket,
+                 "cycles": float(steps), "queue": blocked_queue})
+        else:
+            bucket = self._classify_blocked()
         if self.now.is_integer() and self.counters[bucket].is_integer():
             self.counters.add(bucket, float(steps))
             self.now += float(steps)

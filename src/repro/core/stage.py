@@ -119,6 +119,10 @@ class StageInstance:
     # Running I/O totals for max-based SIMD cost accounting.
     work_deq: float = 0.0
     work_enq: float = 0.0
+    # What-if datapath speed factor (SystemConfig.stage_speedup): divides
+    # queue-I/O and explicit compute costs. The 1.0 default takes the
+    # unscaled code paths so ordinary runs stay bit-identical.
+    speed: float = 1.0
 
     def __post_init__(self):
         self.gen = self.spec.semantics(self.ctx)
@@ -135,13 +139,17 @@ class StageInstance:
         """Charge queue I/O and return the marginal cycle cost."""
         wd = self.work_deq
         we = self.work_enq
+        speed = self.speed
         if is_control:
             # Control values are handled one per cycle (Sec. 5.6).
-            top = (wd if wd >= we else we) + 1.0
+            inc = 1.0 if speed == 1.0 else 1.0 / speed
+            top = (wd if wd >= we else we) + inc
             self.work_deq = self.work_enq = top
-            return 1.0
+            return inc
         before = wd if wd >= we else we
         r = self.mapping.replication
+        if speed != 1.0:
+            r = r * speed
         wd += n_deq / r
         we += n_enq / r
         self.work_deq = wd

@@ -122,6 +122,7 @@ class System:
             queue_memories.append(qmem)
 
         # Pass 2: build PEs, stages (with mapped configurations), DRMs.
+        speedups = dict(config.stage_speedup)
         for pe_id, pe_program in enumerate(program.pe_programs):
             pe = ProcessingElement(
                 pe_id, config, l1s[pe_id], queue_memories[pe_id],
@@ -139,6 +140,14 @@ class System:
                 ctx = StageContext(pe_id, spec.name, pe_program.shard,
                                    self._n_shards())
                 stage = StageInstance(spec, ctx, mapping, config_region.base)
+                if speedups:
+                    # Exact per-shard name wins over the base name that
+                    # matches every shard ("bfs.fetch" -> "bfs.fetch@*").
+                    factor = speedups.get(
+                        spec.name,
+                        speedups.get(spec.name.split("@", 1)[0]))
+                    if factor is not None:
+                        stage.speed = float(factor)
                 pe.attach_stage(stage)
             for drm_spec in pe_program.drm_specs:
                 targets = (drm_spec.route_targets if drm_spec.route
@@ -150,6 +159,15 @@ class System:
                           l1s[pe_id], program.memmap,
                           config.drm_max_outstanding, config.l1.latency,
                           issue_width=config.drm_issue_width)
+                if speedups:
+                    factor = speedups.get(
+                        drm_spec.name,
+                        speedups.get(drm_spec.name.split("@", 1)[0]))
+                    if factor is not None:
+                        # Scale the DRM's issue throughput (misses still
+                        # cost full latency; what-ifs model the engine,
+                        # not the memory behind it).
+                        drm._inv_issue = drm._inv_issue / float(factor)
                 pe.attach_drm(drm)
             pe.finalize()
             self.pes.append(pe)

@@ -101,6 +101,9 @@ class ExperimentResult:
     seed: int = 1
     wall_time_s: float = 0.0
     engine: str = "fast"
+    # Wait-for profile (repro.profiling.RunProfile) when the run was
+    # made with profile=True; None otherwise.
+    profile: Optional[object] = None
 
     @property
     def label(self) -> str:
@@ -257,7 +260,8 @@ def run_experiment(app: str, input_code: str, system: str,
                    telemetry=None,
                    manifest_dir=None,
                    engine: str = "fast",
-                   sanitize: bool = False) -> ExperimentResult:
+                   sanitize: bool = False,
+                   profile: bool = False) -> ExperimentResult:
     """Run one experiment; see module docstring for the system names.
 
     ``telemetry`` is an optional :class:`repro.stats.telemetry.EventBus`
@@ -271,6 +275,10 @@ def run_experiment(app: str, input_code: str, system: str,
     ``sanitize`` arms a :class:`repro.analysis.SimulationSanitizer` on
     CGRA runs: per-quantum token/credit-conservation and clock checks
     that keep the run bit-identical (see ``docs/analysis.md``).
+    ``profile`` arms the wait-for profiler (:mod:`repro.profiling`) on
+    CGRA runs — blame matrix, critical path, what-if inputs — exposed
+    as ``result.profile`` and, with ``manifest_dir``, summarized into
+    the run manifest.
     """
     from repro.core import ENGINES
     if system not in SYSTEMS:
@@ -281,7 +289,12 @@ def run_experiment(app: str, input_code: str, system: str,
         scale = default_scale(app, input_code)
     if prepared is None:
         prepared = prepare_input(app, input_code, scale=scale, seed=seed)
+    if profile and system in ("serial", "multicore"):
+        raise ValueError(
+            f"profile=True needs a CGRA system with an event stream; "
+            f"{system!r} is an analytic OOO model")
     energy_model = EnergyModel()
+    run_profile = None
     t_start = time.perf_counter()
     if system in ("serial", "multicore"):
         n_cores = 1 if system == "serial" else 4
@@ -296,6 +309,10 @@ def run_experiment(app: str, input_code: str, system: str,
         simulator = System(sys_config, program, mode=system,
                            telemetry=telemetry)
         sanitizer = None
+        profiler = None
+        if profile:
+            from repro.profiling import attach_profiler
+            profiler = attach_profiler(simulator, bus=telemetry)
         if sanitize:
             from repro.analysis import SimulationSanitizer
             sanitizer = SimulationSanitizer().arm(simulator)
@@ -304,6 +321,8 @@ def run_experiment(app: str, input_code: str, system: str,
         finally:
             if sanitizer is not None:
                 sanitizer.disarm()
+        if profiler is not None:
+            run_profile = profiler.finalize(raw.pe_counters, raw.cycles)
         energy = energy_model.cgra_energy(raw).as_dict()
         result = raw.result
     wall_time_s = time.perf_counter() - t_start
@@ -315,7 +334,8 @@ def run_experiment(app: str, input_code: str, system: str,
     experiment = ExperimentResult(app, input_code, system, variant,
                                   float(raw.cycles), correct, energy, raw,
                                   scale=scale, seed=seed,
-                                  wall_time_s=wall_time_s, engine=engine)
+                                  wall_time_s=wall_time_s, engine=engine,
+                                  profile=run_profile)
     if manifest_dir is not None:
         from repro.stats.manifest import write_manifest
         write_manifest(experiment.to_manifest(), manifest_dir)

@@ -50,6 +50,7 @@ class SweepPoint:
     config: Optional[SystemConfig] = None
     max_cycles: float = 2e9
     check: bool = True
+    profile: bool = False
 
     @property
     def label(self) -> str:
@@ -74,7 +75,7 @@ def _run_point(point: SweepPoint) -> ExperimentResult:
                           prepared=prepared, variant=point.variant,
                           config=point.config, scale=scale, seed=point.seed,
                           max_cycles=point.max_cycles, check=point.check,
-                          engine=point.engine)
+                          engine=point.engine, profile=point.profile)
 
 
 def merge_sweep_manifests(manifests: Sequence[dict]) -> dict:

@@ -49,7 +49,9 @@ class MainMemory:
         if over > 0:
             # Queueing penalty: excess traffic drains at the peak rate.
             latency += over / self._bw
-        if self.probe is not None and self.probe.bus.sinks:
+        # mem.complete rides behind the mem.issue guard: subscribe to
+        # both kinds to observe completions.
+        if self.probe is not None and "mem.issue" in self.probe.bus.wants:
             now = self.probe.bus.now
             self.probe.emit("mem.issue", cycle=now, addr=addr, write=write)
             self.probe.emit("mem.complete", cycle=now + latency, addr=addr,
@@ -113,7 +115,7 @@ class Cache:
             cache_set[line] = dirty  # move to MRU position
             return self._latency
         self.misses += 1
-        if self.probe is not None and self.probe.bus.sinks:
+        if self.probe is not None and "cache.miss" in self.probe.bus.wants:
             self.probe.emit("cache.miss", level=self.name, addr=addr,
                             write=write)
         latency = self.config.latency + self.parent.access(addr, write=False)

@@ -1,0 +1,309 @@
+"""Critical-path extraction from the wait-for profiler's timelines.
+
+The longest dependency chain through a run is reconstructed backwards
+from the final cycle: standing at time ``t`` on some PE, the walker asks
+what that PE was doing just before ``t`` —
+
+* running a stage: the path absorbs the contiguous run span;
+* reconfiguring, or stalled on memory: the path absorbs the span;
+* stalled on a queue: the *dependency* lives on the other side of the
+  queue (the producer for an empty-queue wait, the consumer for a
+  full-queue wait), so the walk jumps — at the same time ``t`` — to the
+  PE hosting that endpoint and continues there;
+* inactive: the path absorbs the idle gap back to the PE's previous
+  activity (or to cycle 0).
+
+Same-time jumps are bounded (a visited set plus a jump budget); when a
+jump cannot make progress the wait itself is absorbed into the path, so
+the walk always terminates and the absorbed segments partition
+``[0, cycles]`` exactly — the path's total weight equals the run's
+cycle count, a property the tests pin down.
+
+Output formats: ranked merged segments (text), a JSON document, and
+folded stacks (one ``pe;component;kind weight`` line per segment) that
+`flamegraph.pl` or speedscope render directly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.profiling.topology import MEMORY, RECONFIG, base_name
+
+_EPS = 1e-6
+
+#: Hard iteration ceiling for the backward walk (well above any real
+#: path length; a safety net, not a tuning knob).
+_MAX_STEPS = 1_000_000
+
+_QUEUE_BUCKETS = ("stall_queue_full", "stall_queue_empty")
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of the critical path (chronological order)."""
+
+    pe: int
+    kind: str      # "run" | "reconfig" | "mem" | "wait" | "idle" | "start"
+    name: str      # stage name, queue name, or ""
+    cycles: float
+    #: For absorbed waits: the component on the far side of the queue
+    #: (e.g. a same-PE DRM) the waiter was actually limited by.
+    blamed: str = ""
+
+    @property
+    def component(self) -> str:
+        """Blame-style component label for what-if attribution."""
+        if self.kind == "run":
+            return base_name(self.name)
+        if self.kind == "mem":
+            return MEMORY
+        if self.kind == "reconfig":
+            return RECONFIG
+        if self.kind == "wait":
+            if self.blamed:
+                return base_name(self.blamed)
+            return f"(wait:{self.name})"
+        return "(slack)"
+
+
+@dataclass
+class CriticalPath:
+    """The reconstructed longest dependency chain of one run."""
+
+    segments: list = field(default_factory=list)   # [PathSegment], in time
+    cycles: float = 0.0
+    # DRM name -> fraction of its busy time that was memory miss stall
+    # (from the profiler); splits DRM-limited waits in attributed().
+    memory_fractions: dict = field(default_factory=dict)
+
+    def total_weight(self) -> float:
+        return sum(s.cycles for s in self.segments)
+
+    def ranked(self) -> list:
+        """Segments merged by (pe, kind, name), heaviest first."""
+        merged: dict = {}
+        for seg in self.segments:
+            key = (seg.pe, seg.kind, seg.name, seg.blamed)
+            merged[key] = merged.get(key, 0.0) + seg.cycles
+        return sorted(
+            (PathSegment(pe, kind, name, cycles, blamed)
+             for (pe, kind, name, blamed), cycles in merged.items()),
+            key=lambda s: (-s.cycles, s.pe, s.kind, s.name))
+
+    def attributed(self) -> dict:
+        """Critical-path cycles per component (stage base names,
+        ``(memory)``, ``(reconfig)``, waits, slack), heaviest first.
+        This is the quantity the causal what-if estimator scales.
+
+        Waits blamed on a DRM split between the DRM's issue engine and
+        ``(memory)`` in proportion to the DRM's measured miss-stall
+        fraction — a decoupled access stream limited by misses is a
+        memory bottleneck, not an engine one."""
+        totals: dict = {}
+        for seg in self.segments:
+            component = seg.component
+            cycles = seg.cycles
+            if seg.kind == "wait" and seg.blamed:
+                fraction = self.memory_fractions.get(
+                    seg.blamed,
+                    self.memory_fractions.get(base_name(seg.blamed), 0.0))
+                if fraction > 0.0:
+                    totals[MEMORY] = (totals.get(MEMORY, 0.0)
+                                      + cycles * fraction)
+                    cycles *= 1.0 - fraction
+            totals[component] = totals.get(component, 0.0) + cycles
+        return dict(sorted(totals.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def folded(self) -> str:
+        """Folded-stack lines (``pe;component;kind weight``) for
+        flamegraph.pl / speedscope. Weights are rounded to integers;
+        zero-weight jump markers are dropped."""
+        lines = []
+        for seg in self.ranked():
+            weight = int(round(seg.cycles))
+            if weight <= 0:
+                continue
+            frame = seg.name if seg.name else seg.kind
+            lines.append(f"pe{seg.pe};{frame};{seg.kind} {weight}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "total_weight": self.total_weight(),
+            "segments": [
+                {"pe": s.pe, "kind": s.kind, "name": s.name,
+                 "cycles": s.cycles}
+                for s in self.ranked()],
+            "attributed": self.attributed(),
+        }
+
+
+class _Timeline:
+    """Sorted, clamped interval lookups for one PE."""
+
+    def __init__(self, spans, end_cycle: float):
+        # spans: iterable of tuples whose first two fields are
+        # (start, end); clamp to the run and drop empty spans.
+        clean = []
+        for span in spans:
+            start = min(float(span[0]), end_cycle)
+            end = min(float(span[1]), end_cycle)
+            if end - start > _EPS:
+                clean.append((start, end) + tuple(span[2:]))
+        clean.sort(key=lambda s: (s[0], s[1]))
+        self.spans = clean
+        self._starts = [s[0] for s in clean]
+
+    # Spans can overlap (coalesced memory stalls spill past a quantum
+    # and interleave with queue stalls), so both lookups scan a bounded
+    # window left of the bisection point instead of trusting the first
+    # candidate. The bound trades worst-case fidelity for guaranteed
+    # O(1) steps; walker termination never depends on it.
+    _SCAN = 64
+
+    def containing(self, t: float):
+        """Some span with ``start < t <= end``, or None."""
+        i = bisect_right(self._starts, t - _EPS) - 1
+        for _ in range(self._SCAN):
+            if i < 0:
+                return None
+            span = self.spans[i]
+            if span[1] + _EPS >= t:
+                return span
+            i -= 1
+        return None
+
+    def latest_end_before(self, t: float) -> float:
+        """Largest span end strictly below ``t`` (0.0 when none)."""
+        best = 0.0
+        i = bisect_right(self._starts, t - _EPS) - 1
+        for _ in range(self._SCAN):
+            if i < 0:
+                break
+            end = self.spans[i][1]
+            if end <= t - _EPS and end > best:
+                best = end
+            i -= 1
+        return best
+
+    def last_end(self) -> float:
+        return max((s[1] for s in self.spans), default=0.0)
+
+
+def extract_critical_path(profile) -> CriticalPath:
+    """Walk the profiler's timelines backwards into a CriticalPath.
+
+    ``profile`` is a :class:`repro.profiling.attribution.RunProfile`.
+    """
+    prof = profile.profiler
+    topo = prof.topology
+    end_cycle = profile.cycles
+    n_pes = len(profile.pe_counters)
+
+    stalls = {pe: _Timeline(((s.start, s.end, s.bucket, s.queue, s.stage)
+                             for s in spans), end_cycle)
+              for pe, spans in prof.stalls.items()}
+    reconfigs = {pe: _Timeline(spans, end_cycle)
+                 for pe, spans in prof.reconfigs.items()}
+    runs = {pe: _Timeline(spans, end_cycle)
+            for pe, spans in prof.stage_spans.items()}
+    empty = _Timeline((), end_cycle)
+
+    def timelines(pe):
+        return (stalls.get(pe, empty), reconfigs.get(pe, empty),
+                runs.get(pe, empty))
+
+    if end_cycle <= _EPS:
+        return CriticalPath([], end_cycle)
+
+    # Start on the PE whose activity ends last (ties: lowest id).
+    start_pe = 0
+    latest = -1.0
+    for pe in range(n_pes):
+        pe_end = max(tl.last_end() for tl in timelines(pe))
+        if pe_end > latest + _EPS:
+            latest = pe_end
+            start_pe = pe
+
+    segments: list = []
+    t = end_cycle
+    pe = start_pe
+    jump_budget = 2 * max(1, n_pes)
+    jumps = 0
+    visited: set = set()
+
+    for _ in range(_MAX_STEPS):
+        if t <= _EPS:
+            break
+        stall_tl, reconfig_tl, run_tl = timelines(pe)
+        stall = stall_tl.containing(t)
+        if stall is not None:
+            start, _end, bucket, queue, stage = stall
+            if bucket in _QUEUE_BUCKETS:
+                blamees = topo.blamees_for_stall(bucket, queue)
+                target = None
+                for name in blamees:
+                    target_pe = topo.pe_of(name)
+                    if target_pe >= 0 and target_pe != pe:
+                        target = target_pe
+                        break
+                key = (pe, round(t, 3))
+                if (target is not None and jumps < jump_budget
+                        and key not in visited):
+                    visited.add(key)
+                    jumps += 1
+                    segments.append(PathSegment(pe, "wait",
+                                                queue or bucket, 0.0))
+                    pe = target
+                    continue
+                # No cross-PE dependency (same-PE endpoint such as a
+                # DRM, control-core boundary, or a jump cycle): absorb
+                # the wait, blaming the far-side component when known.
+                blamed = next((n for n in blamees
+                               if not n.startswith("(")), "")
+                segments.append(PathSegment(pe, "wait", queue or bucket,
+                                            t - start, blamed))
+            else:
+                kind = "mem" if bucket == "stall_mem" else "idle"
+                segments.append(PathSegment(pe, kind, stage or "",
+                                            t - start))
+            t = start
+            jumps = 0
+            visited.clear()
+            continue
+        reconfig = reconfig_tl.containing(t)
+        if reconfig is not None:
+            segments.append(PathSegment(pe, "reconfig", reconfig[2],
+                                        t - reconfig[0]))
+            t = reconfig[0]
+            jumps = 0
+            visited.clear()
+            continue
+        run = run_tl.containing(t)
+        if run is not None:
+            # Run back to the nearest interruption inside this span.
+            boundary = max(run[0],
+                           stall_tl.latest_end_before(t),
+                           reconfig_tl.latest_end_before(t))
+            segments.append(PathSegment(pe, "run", run[2], t - boundary))
+            t = boundary
+            jumps = 0
+            visited.clear()
+            continue
+        # Inactive gap: back to the PE's previous activity, or cycle 0.
+        prev = max(tl.latest_end_before(t) for tl in timelines(pe))
+        if prev <= _EPS:
+            segments.append(PathSegment(pe, "start", "", t))
+            t = 0.0
+            break
+        segments.append(PathSegment(pe, "idle", "", t - prev))
+        t = prev
+        jumps = 0
+        visited.clear()
+
+    segments.reverse()
+    return CriticalPath(segments, end_cycle,
+                        dict(profile.drm_memory_fractions))

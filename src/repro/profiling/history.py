@@ -1,0 +1,175 @@
+"""Benchmark regression observatory: diff run manifests over time.
+
+``benchmarks/results/history/`` holds committed baseline manifests
+(small deterministic inputs, both engines); ``repro bench-diff
+BASELINE CURRENT`` compares a fresh manifest directory against them and
+flags regressions:
+
+* **cycles** — simulated cycle counts are seed-deterministic, so any
+  drift beyond a tight tolerance is a real behavior change (fail);
+* **blame shares** — with profiles in both manifests, a component's
+  share of total blame drifting beyond the threshold flags a bottleneck
+  shift even when total cycles barely move (fail);
+* **wall time** — host-dependent, so only flagged beyond a generous
+  ratio, and only ever as a warning.
+
+Runs are keyed by their full coordinates (app, input, system, variant,
+seed, engine); baseline-only keys are reported as ``missing`` warnings
+(coverage shrank), current-only keys are informational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.stats.manifest import load_manifests
+
+#: Relative cycle drift beyond which a diff fails. Cycles are exactly
+#: reproducible for a given (config, seed), so this only needs to absorb
+#: float printing, not noise.
+DEFAULT_CYCLE_TOL = 0.001
+#: Absolute drift in a component's share of total blame (0..1).
+DEFAULT_BLAME_TOL = 0.05
+#: Current/baseline wall-time ratio beyond which a warning is emitted.
+DEFAULT_WALL_RATIO = 2.0
+
+_KEY_FIELDS = ("app", "input", "system", "variant", "seed", "engine")
+
+
+def manifest_key(manifest: dict) -> tuple:
+    return tuple(manifest.get(k) for k in _KEY_FIELDS)
+
+
+def _key_label(key: tuple) -> str:
+    app, code, system, variant, seed, engine = key
+    return f"{app}/{code}/{system}/{variant}/seed{seed}/{engine}"
+
+
+def _blame_shares(manifest: dict) -> dict:
+    """Component -> share of total blame, from a manifest's rolled-up
+    blame matrix (empty when the run was not profiled)."""
+    rollup = (manifest.get("profile") or {}).get("blame_rollup") or {}
+    total = sum(rollup.values())
+    if total <= 0.0:
+        return {}
+    return {name: cycles / total for name, cycles in rollup.items()}
+
+
+@dataclass
+class DiffFinding:
+    """One flagged difference between baseline and current."""
+
+    severity: str    # "fail" | "warn" | "info"
+    kind: str        # "cycles" | "blame" | "wall_time" | "missing" | "new"
+    run: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.severity.upper():4}] {self.kind:<9} {self.run}: " \
+               f"{self.message}"
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one bench-diff invocation."""
+
+    findings: list = field(default_factory=list)   # [DiffFinding]
+    n_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "fail" for f in self.findings)
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        verdict = "OK" if self.ok else "REGRESSIONS DETECTED"
+        lines.append(f"{self.n_compared} run(s) compared, "
+                     f"{sum(1 for f in self.findings if f.severity == 'fail')}"
+                     f" failure(s), "
+                     f"{sum(1 for f in self.findings if f.severity == 'warn')}"
+                     f" warning(s): {verdict}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "n_compared": self.n_compared,
+            "findings": [
+                {"severity": f.severity, "kind": f.kind, "run": f.run,
+                 "message": f.message}
+                for f in self.findings],
+        }
+
+
+def diff_manifests(baseline: dict, current: dict,
+                   cycle_tol: float = DEFAULT_CYCLE_TOL,
+                   blame_tol: float = DEFAULT_BLAME_TOL,
+                   wall_ratio: float = DEFAULT_WALL_RATIO) -> list:
+    """Diff one matched pair of manifests into findings."""
+    findings = []
+    run = _key_label(manifest_key(current))
+
+    base_cycles = float(baseline.get("cycles", 0.0))
+    cur_cycles = float(current.get("cycles", 0.0))
+    if base_cycles > 0.0:
+        drift = (cur_cycles - base_cycles) / base_cycles
+        if abs(drift) > cycle_tol:
+            direction = "slower" if drift > 0 else "faster"
+            findings.append(DiffFinding(
+                "fail", "cycles", run,
+                f"{base_cycles:,.0f} -> {cur_cycles:,.0f} cycles "
+                f"({abs(drift):.2%} {direction}; tolerance {cycle_tol:.2%})"))
+
+    base_shares = _blame_shares(baseline)
+    cur_shares = _blame_shares(current)
+    if base_shares and cur_shares:
+        for name in sorted(set(base_shares) | set(cur_shares)):
+            before = base_shares.get(name, 0.0)
+            after = cur_shares.get(name, 0.0)
+            if abs(after - before) > blame_tol:
+                findings.append(DiffFinding(
+                    "fail", "blame", run,
+                    f"{name}: blame share {before:.1%} -> {after:.1%} "
+                    f"(threshold {blame_tol:.0%})"))
+
+    base_wall = float(baseline.get("wall_time_s", 0.0))
+    cur_wall = float(current.get("wall_time_s", 0.0))
+    if base_wall > 0.0 and cur_wall / base_wall > wall_ratio:
+        findings.append(DiffFinding(
+            "warn", "wall_time", run,
+            f"{base_wall:.2f}s -> {cur_wall:.2f}s wall time "
+            f"({cur_wall / base_wall:.1f}x; threshold {wall_ratio:.1f}x; "
+            f"host-dependent, warning only)"))
+    return findings
+
+
+def bench_diff(baseline_dir, current_dir,
+               cycle_tol: float = DEFAULT_CYCLE_TOL,
+               blame_tol: float = DEFAULT_BLAME_TOL,
+               wall_ratio: float = DEFAULT_WALL_RATIO) -> DiffReport:
+    """Compare every manifest under two directories; see module doc."""
+    for directory in (baseline_dir, current_dir):
+        if not Path(directory).is_dir():
+            raise ValueError(f"not a directory: {directory}")
+    baselines = {manifest_key(m): m for m in load_manifests(baseline_dir)}
+    currents = {manifest_key(m): m for m in load_manifests(current_dir)}
+    if not baselines:
+        raise ValueError(f"no baseline manifests under {baseline_dir}")
+
+    report = DiffReport()
+    for key in sorted(baselines, key=str):
+        if key not in currents:
+            report.findings.append(DiffFinding(
+                "warn", "missing", _key_label(key),
+                "present in baseline but not in current (coverage shrank)"))
+            continue
+        report.n_compared += 1
+        report.findings.extend(diff_manifests(
+            baselines[key], currents[key], cycle_tol=cycle_tol,
+            blame_tol=blame_tol, wall_ratio=wall_ratio))
+    for key in sorted(set(currents) - set(baselines), key=str):
+        report.findings.append(DiffFinding(
+            "info", "new", _key_label(key),
+            "no baseline yet (commit one to start tracking it)"))
+    return report

@@ -145,7 +145,8 @@ class Queue:
             raise KeyError(
                 f"queue {self.name!r}: unknown producer {producer!r}")
         ok = credits[producer] >= words
-        if (not ok and self.probe is not None and self.probe.bus.sinks
+        if (not ok and self.probe is not None
+                and "queue.credit_stall" in self.probe.bus.wants
                 and self.free_words >= words):
             # Space exists but this producer's credit share is
             # exhausted: the Sec. 5.6 flow-control stall.
@@ -175,7 +176,7 @@ class Queue:
         self._tokens.append(Token(value, is_control, producer))
         self._occupancy_words += words
         self.total_enqueued += 1
-        if self.probe is not None and self.probe.bus.sinks:
+        if self.probe is not None and "queue.enq" in self.probe.bus.wants:
             self.probe.emit("queue.enq", queue=self.name, words=words,
                             occupancy=self._occupancy_words,
                             control=is_control)
@@ -198,7 +199,7 @@ class Queue:
         self._occupancy_words -= words
         if self._credits is not None:
             self._credits[token.producer] += words
-        if self.probe is not None and self.probe.bus.sinks:
+        if self.probe is not None and "queue.deq" in self.probe.bus.wants:
             self.probe.emit("queue.deq", queue=self.name, words=words,
                             occupancy=self._occupancy_words)
         return token

@@ -20,7 +20,9 @@ import time
 from pathlib import Path
 from typing import Optional
 
-MANIFEST_SCHEMA_VERSION = 1
+# v2 adds the optional "profile" key (wait-for blame matrix and
+# critical-path attribution, repro.profiling); v1 manifests still load.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Keys that legitimately differ between two runs of the same
 #: (config, seed) point: the wall-clock timestamp and host speed.
@@ -76,7 +78,27 @@ def build_manifest(result, created: Optional[float] = None) -> dict:
     instructions = getattr(raw, "instructions", None)
     if instructions is not None:
         manifest["instructions"] = instructions
+    profile = getattr(result, "profile", None)
+    if profile is not None:
+        manifest["profile"] = _profile_summary(profile)
     return manifest
+
+
+def _profile_summary(profile) -> dict:
+    """Deterministic, diffable digest of a ``RunProfile``.
+
+    Carries the full blame matrix, its rolled-up waitee totals (what
+    ``repro bench-diff`` thresholds), and the critical path's
+    per-component attribution — not the raw span timelines, which are
+    bulky and derivable by re-running with ``profile=True``.
+    """
+    path = profile.critical_path()
+    return {
+        "blame_matrix": profile.blame.as_dict(),
+        "blame_rollup": profile.blame.rollup().waitee_totals(),
+        "critical_path_attributed": path.attributed(),
+        "critical_path_weight": path.total_weight(),
+    }
 
 
 def _aggregate_l1(l1_stats) -> dict:

@@ -51,13 +51,19 @@ from repro.stats.cpi_stack import cpi_stack
 _EPS = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TelemetryEvent:
     """One structured event: a timestamp, a kind, a source, a payload.
 
     ``seq`` is a bus-global monotonic sequence number that totally
     orders events even when several share a timestamp (e.g. a
     ``reconfig.end`` and the ``stage.activate`` it enables).
+
+    Treat instances as read-only. The class is deliberately not
+    ``frozen``: frozen-dataclass construction routes every field
+    through ``object.__setattr__``, roughly tripling the per-event
+    cost on the armed-profiler path that
+    ``benchmarks/bench_telemetry_overhead.py`` budgets.
     """
 
     cycle: float
@@ -81,13 +87,33 @@ class EventSink:
         """Flush/release resources; the default is a no-op."""
 
 
+class _AllKinds:
+    """Sentinel ``wants`` value: every kind is wanted (unfiltered sink)."""
+
+    __slots__ = ()
+
+    def __contains__(self, kind: str) -> bool:
+        return True
+
+    def __bool__(self) -> bool:
+        return True
+
+
+_EVERY_KIND = _AllKinds()
+
+
 class Probe:
     """A component's handle onto the bus (cheap to hold, cheap to skip).
 
     Publishers call ``emit`` only behind an ``if self.probe is not None``
-    guard; ``emit`` itself drops the event unless the bus has sinks, so
-    an attached-but-unsubscribed bus costs one method call per event
-    site and allocates nothing.
+    guard; ``emit`` itself drops the event unless some subscribed sink
+    wants the kind (``bus.wants``), so an attached-but-unsubscribed bus
+    costs one method call per event site and allocates nothing. The
+    hottest sites (queue/cache/memory traffic) additionally pre-check
+    ``kind in probe.bus.wants`` before building the payload, so a bus
+    carrying only kind-filtered sinks (e.g. the wait-for profiler, which
+    wants stall and reconfiguration events but not per-token queue
+    traffic) skips those sites almost as cheaply as an idle bus.
     """
 
     __slots__ = ("bus", "source")
@@ -98,8 +124,10 @@ class Probe:
 
     def emit(self, kind: str, cycle: Optional[float] = None, **data) -> None:
         bus = self.bus
-        if bus.sinks:
-            bus.emit(kind, self.source, cycle=cycle, **data)
+        if kind in bus.wants:
+            # ``data`` is already a fresh dict; hand it to the bus
+            # as-is rather than re-packing through a second **kwargs.
+            bus.publish(kind, self.source, cycle, data)
 
 
 class EventBus:
@@ -110,6 +138,15 @@ class EventBus:
     pass their own (sub-quantum) ``now`` explicitly. Components without
     a clock of their own (queues, caches, memory) timestamp events with
     ``now``, so their timestamps are quantum-granular.
+
+    ``subscribe(sink, kinds=...)`` registers a *kind-filtered* sink: the
+    bus only constructs and delivers events some subscriber wants
+    (``wants`` is the union of all subscriptions; an unfiltered sink
+    widens it to everything). Filtering changes which events exist at
+    all, so ``seq`` numbering — still strictly monotonic — depends on
+    the subscription set. Note ``mem.complete`` rides behind the
+    ``mem.issue`` fast-path guard in :class:`~repro.memory.cache.
+    MainMemory`: subscribe to both to see completions.
     """
 
     def __init__(self):
@@ -117,17 +154,40 @@ class EventBus:
         self.samplers: list = []
         self.now = 0.0
         self.seq = 0
+        #: Set-like of event kinds some sink wants; supports ``in``.
+        self.wants = frozenset()
+        self._filters: list = []   # parallel to sinks: frozenset | None
+        self._delivery: list = []  # [(sink.on_event, kinds)] snapshot
 
     # -- sinks -------------------------------------------------------------
 
-    def subscribe(self, sink: EventSink) -> EventSink:
+    def _rebuild_wants(self) -> None:
+        if any(kinds is None for kinds in self._filters):
+            self.wants = _EVERY_KIND
+        elif self._filters:
+            self.wants = frozenset().union(*self._filters)
+        else:
+            self.wants = frozenset()
+        self._delivery = [(sink.on_event, kinds)
+                          for sink, kinds in zip(self.sinks, self._filters)]
+
+    def subscribe(self, sink: EventSink, kinds=None) -> EventSink:
+        """Subscribe ``sink``; ``kinds`` (an iterable of event kinds)
+        restricts delivery — and event construction — to those kinds.
+        ``None`` (default) receives everything."""
         if sink not in self.sinks:
             self.sinks.append(sink)
+            self._filters.append(frozenset(kinds) if kinds is not None
+                                 else None)
+            self._rebuild_wants()
         return sink
 
     def unsubscribe(self, sink: EventSink) -> None:
         if sink in self.sinks:
-            self.sinks.remove(sink)
+            index = self.sinks.index(sink)
+            del self.sinks[index]
+            del self._filters[index]
+            self._rebuild_wants()
 
     @property
     def active(self) -> bool:
@@ -135,13 +195,19 @@ class EventBus:
 
     def emit(self, kind: str, source: str,
              cycle: Optional[float] = None, **data) -> None:
-        if not self.sinks:
+        self.publish(kind, source, cycle, data)
+
+    def publish(self, kind: str, source: str,
+                cycle: Optional[float], data: dict) -> None:
+        """Deliver one event; ``data`` is adopted, not copied."""
+        if kind not in self.wants:
             return
         event = TelemetryEvent(self.now if cycle is None else cycle,
                                self.seq, kind, source, data)
         self.seq += 1
-        for sink in self.sinks:
-            sink.on_event(event)
+        for on_event, kinds in self._delivery:
+            if kinds is None or kind in kinds:
+                on_event(event)
 
     def close(self) -> None:
         for sink in self.sinks:

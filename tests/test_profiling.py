@@ -1,0 +1,223 @@
+"""Wait-for profiler invariants: reconciliation, paths, what-ifs.
+
+Three properties anchor the profiler's trustworthiness and are pinned
+here on every paper workload (plus SSSP) at reduced scale, on both
+simulation engines:
+
+* **reconciliation** — every row of the blame matrix sums to the run's
+  total cycles exactly (the matrix is a refinement of the Fig. 14 CPI
+  stack, never a second opinion on it);
+* **engine independence** — the fast and naive engines produce
+  byte-identical blame matrices, so coalesced stall events carry the
+  same information as per-cycle ones;
+* **conservation on the critical path** — the extracted path's segments
+  partition ``[0, cycles]``, so its total weight equals the cycle
+  count.
+
+On top of those, the Coz-style what-if estimator is validated causally:
+its predictions must land within 15% of an actual re-simulation with
+the hypothesized config, and profiling itself must never perturb the
+simulation (bit-identical cycle counts with the profiler on and off).
+"""
+
+import pickle
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import System
+from repro.core.system import ENGINES, SimulationTimeout
+from repro.harness.run import default_scale, prepare_input, run_experiment
+from repro.profiling import (RunProfile, attach_profiler, parse_whatif,
+                             predict_speedup, validate_prediction)
+from repro.profiling.whatif import apply_whatif_config
+from repro.workloads import bfs
+
+#: Every paper workload's Fig. 13/14 representative input, plus SSSP.
+WORKLOADS = (("bfs", "In"), ("cc", "Hu"), ("prd", "Ci"), ("radii", "Dy"),
+             ("spmm", "FS"), ("silo", "YC"), ("sssp", "Hu"))
+
+#: Fraction of each input's default scale: small enough for the naive
+#: engine in tier-1 time, large enough that every stage activates.
+SCALE_MULT = 0.1
+
+_EPS = 1e-6
+
+_cache: dict = {}
+
+
+def _profiled(app, code, engine):
+    """One profiled fifer run per (app, input, engine), cached."""
+    key = (app, code, engine)
+    if key not in _cache:
+        _cache[key] = run_experiment(
+            app, code, "fifer", engine=engine, profile=True,
+            scale=default_scale(app, code) * SCALE_MULT)
+    return _cache[key]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("app,code", WORKLOADS)
+class TestReconciliation:
+    def test_rows_sum_to_total_cycles(self, app, code, engine):
+        result = _profiled(app, code, engine)
+        blame = result.profile.blame
+        assert blame.rows, "profiled run produced an empty blame matrix"
+        for waiter in blame.rows:
+            assert blame.row_total(waiter) == pytest.approx(
+                result.cycles, abs=_EPS)
+
+    def test_no_unresolved_blame(self, app, code, engine):
+        # The profiler is armed from cycle 0, so every queue-stall
+        # cycle must resolve to a concrete component.
+        result = _profiled(app, code, engine)
+        assert "(unresolved)" not in result.profile.blame.waitee_totals()
+
+    def test_critical_path_weight_equals_cycles(self, app, code, engine):
+        result = _profiled(app, code, engine)
+        path = result.profile.critical_path()
+        assert path.total_weight() == pytest.approx(result.cycles,
+                                                    abs=1e-3)
+        assert path.segments, "critical path has no segments"
+
+
+@pytest.mark.parametrize("app,code", WORKLOADS)
+class TestEngineIndependence:
+    def test_blame_matrices_identical(self, app, code):
+        fast = _profiled(app, code, "fast")
+        naive = _profiled(app, code, "naive")
+        assert fast.cycles == naive.cycles
+        assert fast.profile.blame.as_dict() == naive.profile.blame.as_dict()
+
+    def test_critical_paths_identical(self, app, code):
+        fast = _profiled(app, code, "fast").profile.critical_path()
+        naive = _profiled(app, code, "naive").profile.critical_path()
+        assert fast.attributed() == naive.attributed()
+
+
+class TestProfileSideEffects:
+    """Arming the profiler must not change the simulation."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_profiled_run_bit_identical(self, engine):
+        plain = run_experiment("bfs", "Hu", "fifer", engine=engine,
+                               scale=0.1)
+        profiled = _profiled_bfs_hu(engine)
+        assert profiled.cycles == plain.cycles
+        assert (profiled.raw.merged_cpi_stack()
+                == plain.raw.merged_cpi_stack())
+
+    def test_run_profile_pickles(self):
+        # Sweep workers ship RunProfiles across the process pool.
+        profile = _profiled_bfs_hu("fast").profile
+        clone = pickle.loads(pickle.dumps(profile))
+        assert isinstance(clone, RunProfile)
+        assert clone.blame.as_dict() == profile.blame.as_dict()
+        assert clone.critical_path().attributed() \
+            == profile.critical_path().attributed()
+
+
+def _profiled_bfs_hu(engine="fast"):
+    key = ("bfs-hu-0.1", engine)
+    if key not in _cache:
+        _cache[key] = run_experiment("bfs", "Hu", "fifer", engine=engine,
+                                     profile=True, scale=0.1)
+    return _cache[key]
+
+
+class TestWhatIf:
+    """Causal validation: predictions vs actual re-simulation."""
+
+    #: (TARGET=PERCENT, acceptance bound). The ISSUE requires three
+    #: scenarios within 15%; the bounds here pin the currently observed
+    #: headroom so accuracy regressions surface early.
+    SCENARIOS = (("reconfig=100", 0.15),
+                 ("bfs.update=100", 0.15),
+                 ("memory=50", 0.15))
+
+    @pytest.mark.parametrize("spec,bound",
+                             SCENARIOS, ids=[s for s, _ in SCENARIOS])
+    def test_prediction_within_bound(self, spec, bound):
+        result = _profiled_bfs_hu()
+        target, percent = parse_whatif(spec)
+        prediction = predict_speedup(result.profile, target, percent)
+        assert 0.0 < prediction.predicted_cycles <= result.cycles
+        validate_prediction(prediction, "bfs", "Hu", "fifer",
+                            scale=0.1, engine="fast")
+        assert prediction.error == prediction.error, "validation not run"
+        assert prediction.error <= bound, (
+            f"{spec}: predicted {prediction.predicted_cycles:.0f} vs "
+            f"actual {prediction.actual_cycles:.0f} cycles "
+            f"({prediction.error:.1%} off, bound {bound:.0%})")
+
+    def test_parse_whatif_rejects_malformed(self):
+        for bad in ("fetch", "=50", "fetch=", "fetch=abc", "fetch=0",
+                    "fetch=-10"):
+            with pytest.raises(ValueError):
+                parse_whatif(bad)
+
+    def test_reconfig_whatif_only_supports_total(self):
+        with pytest.raises(ValueError, match="percent=100"):
+            apply_whatif_config(SystemConfig(), "reconfig", 50)
+
+
+class TestStageSpeedup:
+    def test_rejects_malformed_entries(self):
+        for bad in ((("bfs.update",),),          # missing factor
+                    (("bfs.update", 0.0),),      # factor must be > 0
+                    (("bfs.update", -2.0),),
+                    ((3, 1.5),)):                # name must be a string
+            with pytest.raises(ValueError):
+                SystemConfig(stage_speedup=bad)
+
+    def test_factor_one_is_bit_identical(self):
+        plain = run_experiment("bfs", "Hu", "fifer", scale=0.1)
+        noop = run_experiment(
+            "bfs", "Hu", "fifer", scale=0.1,
+            config=SystemConfig(stage_speedup=(("bfs.update", 1.0),)))
+        assert noop.cycles == plain.cycles
+        assert noop.raw.merged_cpi_stack() == plain.raw.merged_cpi_stack()
+
+    def test_speedup_reduces_cycles(self):
+        # bfs.drm_ngh is the bottleneck access stream on this input
+        # (the blame rollup ranks it first), so doubling its rate must
+        # shorten the run; a non-bottleneck stage would round away at
+        # quantum granularity.
+        plain = _profiled_bfs_hu()
+        faster = run_experiment(
+            "bfs", "Hu", "fifer", scale=0.1,
+            config=apply_whatif_config(SystemConfig(), "bfs.drm_ngh", 100))
+        assert faster.cycles < plain.cycles
+
+
+class TestTruncatedRuns:
+    """finalize() must reconcile even when the run dies mid-flight."""
+
+    def _truncated_profiler(self):
+        config = SystemConfig()
+        prepared = prepare_input("bfs", "Hu", scale=0.1)
+        program, _ = bfs.build(prepared.data, config, "fifer")
+        system = System(config, program, mode="fifer")
+        profiler = attach_profiler(system)
+        with pytest.raises(SimulationTimeout):
+            system.run(max_cycles=512)
+        return system, profiler
+
+    def test_timeout_finalize_reconciles(self):
+        system, profiler = self._truncated_profiler()
+        profile = profiler.finalize(
+            [pe.counters for pe in system.pes], system.cycle)
+        for waiter in profile.blame.rows:
+            assert profile.blame.row_total(waiter) == pytest.approx(
+                system.cycle, abs=_EPS)
+
+    def test_timeout_spans_clamped(self):
+        system, profiler = self._truncated_profiler()
+        profile = profiler.finalize(
+            [pe.counters for pe in system.pes], system.cycle)
+        for spans in profiler.stage_spans.values():
+            for start, end, _stage in spans:
+                assert end is not None
+                assert start < end <= system.cycle + _EPS
+        assert profile.critical_path().total_weight() == pytest.approx(
+            system.cycle, abs=1e-3)

@@ -8,7 +8,8 @@ import math
 import pytest
 
 from repro.config import SystemConfig
-from repro.core import System
+from repro.core import DeadlockError, System
+from repro.core.system import SimulationTimeout
 from repro.datasets.graphs import power_law_graph
 from repro.harness import run_experiment
 from repro.stats.counters import Counters
@@ -388,3 +389,102 @@ class TestManifests:
         sink = bus.subscribe(RecordingSink(kinds=("stage.activate",)))
         run_experiment("bfs", "Hu", "fifer", scale=0.12, telemetry=bus)
         assert sink.events
+
+
+class TestTruncatedRuns:
+    """Sampler series and trace export survive runs that die early.
+
+    Long irregular runs are exactly where one needs the telemetry, and
+    exactly where deadlocks and timeouts strike mid-quantum — so the
+    sampler's series must stay well-formed, the exporters must clamp to
+    the actual end cycle, and the fast engine's fast-forward must
+    produce the same sampled series the naive engine would.
+    """
+
+    def _truncated(self, max_cycles=512):
+        system = _build_system(n=120, seed=5)
+        bus = EventBus()
+        system.attach_telemetry(bus)
+        sink = bus.subscribe(RecordingSink())
+        sampler = bus.add_sampler(PeriodicSampler(128))
+        with pytest.raises(SimulationTimeout):
+            system.run(max_cycles=max_cycles)
+        return system, sink, sampler
+
+    def test_timeout_sampler_series_well_formed(self):
+        system, _, sampler = self._truncated()
+        assert sampler.samples, "no samples before the timeout"
+        cycles = [s["cycle"] for s in sampler.samples]
+        assert cycles == sorted(set(cycles))
+        assert cycles[-1] <= system.cycle
+        for sample in sampler.samples:
+            assert len(sample["pe_state"]) == 16
+            assert len(sample["cpi"]) == 16
+
+    def test_post_mortem_sample_captures_final_state(self):
+        # After catching the exception, one explicit sample() gives the
+        # at-death snapshot regardless of the period.
+        system, _, sampler = self._truncated()
+        record = sampler.sample(system)
+        assert record["cycle"] == system.cycle
+        assert sampler.samples[-1] is record
+
+    def test_timeout_trace_clamps_to_end_cycle(self):
+        system, sink, sampler = self._truncated()
+        doc = chrome_trace(sink.events, system.cycle,
+                           samples=sampler.samples)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices, "truncated run exported no slices"
+        for event in slices:
+            assert event["ts"] >= 0.0
+            assert event["ts"] + event["dur"] <= system.cycle + 1e-9
+        assert doc["otherData"]["end_cycle"] == system.cycle
+        json.dumps(doc)  # must serialize cleanly
+
+    def test_jsonl_lines_complete_on_truncation(self):
+        system = _build_system(n=120, seed=5)
+        bus = EventBus()
+        system.attach_telemetry(bus)
+        stream = io.StringIO()
+        sink = bus.subscribe(JsonlSink(stream, kinds=("stage.activate",
+                                                      "pe.stall")))
+        with pytest.raises(SimulationTimeout):
+            system.run(max_cycles=512)
+        sink.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == sink.n_events > 0
+        for line in lines:
+            event = json.loads(line)
+            assert event["cycle"] <= system.cycle
+
+    def _deadlocked(self, engine):
+        from tests.test_error_reports import _CONFIG, _stuck_program
+        system = System(_CONFIG, _stuck_program(), mode="fifer")
+        bus = EventBus()
+        system.attach_telemetry(bus)
+        sink = bus.subscribe(RecordingSink(kinds=("stage.activate",
+                                                  "reconfig.begin")))
+        sampler = bus.add_sampler(PeriodicSampler(256))
+        with pytest.raises(DeadlockError):
+            system.run(engine=engine)
+        return system, sink, sampler
+
+    def test_deadlock_sampler_series_well_formed(self):
+        system, sink, sampler = self._deadlocked("fast")
+        cycles = [s["cycle"] for s in sampler.samples]
+        assert cycles == sorted(set(cycles))
+        assert cycles[-1] <= system.cycle
+        doc = chrome_trace(sink.events, system.cycle,
+                           samples=sampler.samples)
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["ts"] + event["dur"] <= system.cycle + 1e-9
+
+    def test_deadlock_sampled_series_engine_identical(self):
+        # The fast engine's fast-forward ticks every quantum boundary
+        # when samplers are attached, so the recorded series must match
+        # the naive engine's cycle for cycle.
+        fast_sys, _, fast_sampler = self._deadlocked("fast")
+        naive_sys, _, naive_sampler = self._deadlocked("naive")
+        assert fast_sys.cycle == naive_sys.cycle
+        assert fast_sampler.samples == naive_sampler.samples
