@@ -14,8 +14,9 @@ Environment knobs:
   (raise for higher-fidelity, slower runs; lower for smoke tests).
 * ``REPRO_BENCH_WORKERS`` — process-pool width for prefetched sweeps
   (default: one worker per CPU; ``1`` forces inline execution).
-* ``REPRO_BENCH_ENGINE``  — simulation engine, ``fast`` (default) or
-  ``naive`` (see ``repro.core.ENGINES``).
+* ``REPRO_BENCH_ENGINE``  — simulation engine: ``fast`` (default),
+  ``event``, or ``naive`` (``repro.core.ENGINES``); anything else is
+  rejected at import so a typo cannot silently fall back.
 * ``REPRO_BENCH_APPS``    — comma-separated app filter (e.g.
   ``bfs,spmm``) applied to ``ALL_APPS``/``REPRESENTATIVE``.
 * ``REPRO_BENCH_INPUTS``  — keep only the first N inputs per app.
@@ -29,11 +30,16 @@ import os
 import pathlib
 
 from repro.config import SystemConfig
+from repro.core import ENGINES
 from repro.harness import SweepPoint, prepare_input, run_sweep
 from repro.harness.run import APP_INPUTS, default_scale
 
 SCALE_MULT = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "fast")
+if ENGINE not in ENGINES:
+    raise ValueError(
+        f"REPRO_BENCH_ENGINE={ENGINE!r} is not a simulation engine; "
+        f"choose from {ENGINES}")
 WORKERS = (int(os.environ["REPRO_BENCH_WORKERS"])
            if os.environ.get("REPRO_BENCH_WORKERS") else None)
 RESULTS_DIR = pathlib.Path(

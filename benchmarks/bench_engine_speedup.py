@@ -1,25 +1,33 @@
-"""Engine micro-benchmark: fast vs naive wall time on the Fig. 13 grid.
+"""Engine micro-benchmark: naive vs fast vs event wall time.
 
 The fast engine bulk-charges blocked spans instead of ticking them
-cycle by cycle (docs/performance.md); both engines are cycle- and
-counter-exact (tests/test_engine_equivalence.py), so the only
-difference is wall time. This benchmark runs the full Fig. 13
-experiment grid end-to-end under each engine and asserts the fast
-engine clears a regression floor; the measured ratio is recorded in
-``benchmarks/results/engine_speedup.txt``.
+cycle by cycle; the event engine additionally sleeps provably blocked
+PEs on queue wake lists and jumps fully quiescent systems straight to
+their deadlock/timeout horizon (docs/performance.md). All three are
+cycle- and counter-exact (tests/test_engine_equivalence.py,
+tests/test_engine_fuzz.py), so the only difference is wall time — and
+the *work counts* this benchmark reports alongside it: per-PE quanta
+actually stepped, sleeps/wakes, and quanta slept or jumped over.
 
-Two different ratios matter here and they are easy to conflate:
+Two regimes are measured, because they answer different questions:
 
-* **engine speedup** (this benchmark): naive vs fast *on the same
-  build*. Both engines share the optimized simulation primitives
-  (queues, caches, counters, DRM stepping), so this isolates what the
-  bulk-stall shortcut alone buys. The floor below is deliberately a
-  regression guard, not a marketing number.
-* **end-to-end speedup** (the PR-level claim): the pre-change
-  bench_fig13 wall time vs the current default engine. That includes
-  the shared hot-path optimizations, which sped the naive reference up
-  too; the measured before/after record lives in
-  ``benchmarks/results/fig13_wall_time.txt`` and docs/performance.md.
+* **Fig. 13 grid** (activity-dominated): the full experiment grid
+  end-to-end under each engine. Here wall time is dominated by real
+  token movement, which every engine must simulate; the fast engine's
+  bulk-stall shortcut already removed the per-cycle stall cost, so the
+  event engine's sleep machinery can only trim the residual per-quantum
+  bookkeeping of blocked PEs. The honest expectation is parity with
+  ``fast`` (the floor below is a non-regression guard), with the event
+  engine stepping measurably fewer PE-quanta.
+* **Quiescence horizon** (dead-time-dominated): time-to-deadlock of a
+  wedged pipeline under an active control core. Real workloads keep a
+  control-poll callback installed (the iteration coordinator), which
+  pins the fast engine to visiting every quantum until the deadlock
+  horizon; the event engine proves every PE asleep, checks the
+  program's ``control_poll_idle`` certificate, and pops the horizon
+  from its event queue in one step. This is the regime the event
+  engine exists for — wall time scales with *events*, and a dead
+  machine has none.
 """
 
 import time
@@ -27,6 +35,7 @@ from dataclasses import replace
 
 from bench_common import WORKERS, emit
 from bench_fig13_performance import fig13_points
+from repro.core import ENGINES
 from repro.harness import format_table, run_sweep
 
 # Same-build naive-vs-fast floor. The blocked-span shortcut only pays
@@ -34,40 +43,142 @@ from repro.harness import format_table, run_sweep
 # points are engine-neutral, so the grid-wide ratio is well under the
 # per-point peaks (~3x on stall-heavy points).
 SPEEDUP_FLOOR = 1.15
+# The event engine must stay within measurement noise of the fast
+# engine on the activity-dominated grid (its sleeps only trim blocked
+# PEs' bookkeeping there; see module docstring).
+EVENT_PARITY_FLOOR = 0.80
+# ...and must beat the fast engine outright where dead time dominates:
+# jumping the deadlock horizon instead of visiting every quantum.
+EVENT_HORIZON_FLOOR = 2.0
+
+_STAT_KEYS = ("quanta", "pe_quanta", "sleeps", "wakes", "slept_quanta",
+              "jumped_quanta")
 
 
 def _timed_sweep(points, engine):
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINES}")
     pts = [replace(p, engine=engine) for p in points]
     start = time.perf_counter()
     results = run_sweep(pts, workers=WORKERS)
     return time.perf_counter() - start, results
 
 
+def _work_counts(results):
+    """Aggregate engine_stats over a sweep (CGRA points only; the
+    analytic OOO points have no simulation loop)."""
+    totals = dict.fromkeys(_STAT_KEYS, 0)
+    for result in results:
+        stats = getattr(result.raw, "engine_stats", None) or {}
+        for key in _STAT_KEYS:
+            totals[key] += stats.get(key, 0)
+    return totals
+
+
+def _wedged_horizon_run(engine):
+    """Time-to-deadlock of a wedged pipeline under an active control
+    core (the iteration-coordinator pattern of every paper workload):
+    a consumer waits forever on a queue nothing feeds, and a reactive
+    ``control_poll`` pins the fast engine to per-quantum stepping while
+    certifying itself idle to the event engine."""
+    from repro.config import SystemConfig
+    from repro.core import (DeadlockError, PEProgram, Program, StageSpec,
+                            System)
+    from repro.ir import DFGBuilder
+    from repro.memory import AddressSpace
+    from repro.memory.memmap import MemoryMap
+    from repro.queues import QueueSpec
+
+    pes = []
+    for i in range(16):
+        def make(i=i):
+            b = DFGBuilder(f"hz.snk@{i}")
+            x = b.deq(f"hz.never@{i}")
+            b.add(x, x)
+            return b.finish()
+
+        def stuck_i(ctx, i=i):
+            yield from ctx.deq(f"hz.never@{i}")
+
+        pes.append(PEProgram(
+            shard=i, queue_specs=[QueueSpec(f"hz.never@{i}")],
+            stage_specs=[StageSpec(f"hz.snk@{i}", make(), stuck_i)]))
+
+    program = Program(
+        "horizon", pes, AddressSpace(), MemoryMap(),
+        control_poll=lambda system: None,
+        control_poll_idle=lambda system: True)
+    system = System(SystemConfig(n_pes=16), program, mode="fifer")
+    start = time.perf_counter()
+    try:
+        system.run(engine=engine)
+    except DeadlockError:
+        pass
+    else:
+        raise AssertionError("wedged pipeline failed to deadlock")
+    return time.perf_counter() - start, system.cycle
+
+
 def run_engine_speedup():
     points = fig13_points()
-    # Warm the per-process input caches so neither engine pays for
+    # Warm the per-process input caches so no engine pays for
     # synthetic input generation inside its timed window.
     _timed_sweep(points, "fast")
-    t_naive, naive = _timed_sweep(points, "naive")
-    t_fast, fast = _timed_sweep(points, "fast")
-    assert [r.cycles for r in naive] == [r.cycles for r in fast]
-    speedup = t_naive / t_fast
-    rows = [
-        ["naive (per-cycle reference)", f"{t_naive:.2f}", "1.00x"],
-        ["fast (bulk stall skip)", f"{t_fast:.2f}", f"{speedup:.2f}x"],
-    ]
-    table = format_table(
-        ["engine", "wall time (s)", "speedup"], rows,
+    timings, results = {}, {}
+    for engine in ENGINES:
+        timings[engine], results[engine] = _timed_sweep(points, engine)
+    reference = [r.cycles for r in results["naive"]]
+    for engine in ENGINES:
+        assert [r.cycles for r in results[engine]] == reference, engine
+    speedup = {engine: timings["naive"] / timings[engine]
+               for engine in ENGINES}
+    counts = {engine: _work_counts(results[engine]) for engine in ENGINES}
+    rows = []
+    for engine in ("naive", "fast", "event"):
+        c = counts[engine]
+        rows.append([
+            engine, f"{timings[engine]:.2f}", f"{speedup[engine]:.2f}x",
+            f"{c['pe_quanta']}", f"{c['sleeps']}",
+            f"{c['slept_quanta']}", f"{c['jumped_quanta']}"])
+    grid_table = format_table(
+        ["engine", "wall time (s)", "speedup", "pe-quanta stepped",
+         "sleeps", "quanta slept", "quanta jumped"], rows,
         title=(f"fig13 grid ({len(points)} experiments) end-to-end wall "
-               f"time by simulation engine, same build (floor: >= "
-               f"{SPEEDUP_FLOOR}x; see fig13_wall_time.txt for the "
-               f"before/after record)"))
-    emit("engine_speedup", table)
-    return speedup
+               f"time and work counts by simulation engine, same build "
+               f"(floors: fast/naive >= {SPEEDUP_FLOOR}x, event/fast >= "
+               f"{EVENT_PARITY_FLOOR}x)"))
+
+    horizon = {}
+    for engine in ENGINES:
+        wall, cycles = _wedged_horizon_run(engine)
+        horizon[engine] = wall
+    horizon_rows = [
+        [engine, f"{horizon[engine]*1e3:.1f}",
+         f"{horizon['naive'] / horizon[engine]:.1f}x",
+         f"{horizon['fast'] / horizon[engine]:.2f}x"]
+        for engine in ("naive", "fast", "event")]
+    horizon_table = format_table(
+        ["engine", "wall time (ms)", "vs naive", "vs fast"], horizon_rows,
+        title=("time-to-deadlock, wedged 16-PE pipeline with an active "
+               "control core (the regime where wall time is all dead "
+               f"quanta; floor: event/fast >= {EVENT_HORIZON_FLOOR}x)"))
+
+    emit("engine_speedup", grid_table + "\n\n" + horizon_table)
+    return (speedup["fast"], timings["fast"] / timings["event"],
+            horizon["fast"] / horizon["event"])
 
 
 def test_engine_speedup(benchmark):
-    speedup = benchmark.pedantic(run_engine_speedup, rounds=1, iterations=1)
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"fast engine speedup {speedup:.2f}x is under the "
+    fast_speedup, event_vs_fast, horizon_vs_fast = benchmark.pedantic(
+        run_engine_speedup, rounds=1, iterations=1)
+    assert fast_speedup >= SPEEDUP_FLOOR, (
+        f"fast engine speedup {fast_speedup:.2f}x is under the "
         f"{SPEEDUP_FLOOR}x floor")
+    assert event_vs_fast >= EVENT_PARITY_FLOOR, (
+        f"event engine at {event_vs_fast:.2f}x of fast on the "
+        f"activity-dominated grid, under the {EVENT_PARITY_FLOOR}x "
+        f"parity floor")
+    assert horizon_vs_fast >= EVENT_HORIZON_FLOOR, (
+        f"event engine horizon jump at {horizon_vs_fast:.2f}x of fast, "
+        f"under the {EVENT_HORIZON_FLOOR}x floor")

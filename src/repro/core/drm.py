@@ -214,6 +214,22 @@ class DRM:
         out.enq(result, producer=self.producer_key)
         return cost
 
+    def watch_queue_names(self):
+        """Output queues whose *dequeues* could unblock this DRM.
+
+        Complements the input queue (whose enqueues obviously matter):
+        a DRM that cannot progress is either starved (input empty) or
+        back-pressured by a full/credit-exhausted output. For routed
+        DRMs every route target is included — the destination of the
+        head token depends on loaded values, so proving which single
+        target matters would cost as much as just re-checking on any of
+        them. Used by the event engine's wake-time derivation
+        (:func:`repro.core.events.wake_queue_names`).
+        """
+        if self._out_q is not None:
+            return (self._out_q.name,)
+        return tuple(q.name for q in self._target_queues)
+
     def can_progress(self) -> bool:
         """Whether :meth:`run` would perform at least one step right now.
 

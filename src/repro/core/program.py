@@ -53,6 +53,12 @@ class Program:
     external_queues: dict[str, Queue] = field(default_factory=dict)
     # Called once per quantum after all PEs run; receives the System.
     control_poll: Optional[Callable[[Any], None]] = None
+    # Optional side-effect-free predicate certifying that the *next*
+    # control_poll call is a no-op and stays one until some queue
+    # activity occurs. The event engine only jumps a fully quiescent
+    # system over the control core when this returns True; without it
+    # every quantum boundary is visited so the poll keeps running.
+    control_poll_idle: Optional[Callable[[Any], bool]] = None
     # Called once after the System instantiates all queues/PEs; lets the
     # workload size windows from the actual carved queue capacities.
     post_build: Optional[Callable[[Any], None]] = None

@@ -700,6 +700,7 @@ class GraphPipelineWorkload:
             memmap=self.memmap,
             external_queues={barrier.name: barrier},
             control_poll=coordinator.poll,
+            control_poll_idle=coordinator.poll_idle,
             result_fn=self.result,
         )
 
@@ -737,3 +738,14 @@ class IterationCoordinator:
         if len(self._arrived) == self.workload.n_shards:
             self._arrived.clear()
             self._dispatch(system)
+
+    def poll_idle(self, system) -> bool:
+        """Certify the next :meth:`poll` a no-op (event-engine jumps).
+
+        After the initial kick, a poll only acts when barrier tokens
+        are waiting or every shard has already arrived; with neither
+        true it drains nothing and dispatches nothing, and only a new
+        barrier enqueue — queue activity — can change that.
+        """
+        return (self._kicked and not self.barrier.can_deq()
+                and len(self._arrived) != self.workload.n_shards)

@@ -1,19 +1,34 @@
-"""Differential suite: the fast engine must be cycle-exact.
+"""Differential suite: the fast and event engines must be cycle-exact.
 
 The fast engine (``engine="fast"``) bulk-charges blocked spans instead
-of ticking them cycle by cycle (docs/performance.md). These tests lock
-down its contract against the naive per-cycle reference: for every
+of ticking them cycle by cycle; the event engine (``engine="event"``)
+additionally sleeps provably blocked PEs on queue wake lists and
+settles their stall cycles lazily (docs/performance.md). These tests
+lock both down against the naive per-cycle reference: for every
 workload, final cycle counts, per-PE counters, CPI stacks, cache and
 memory statistics, functional results, and sampled telemetry series
-must be *identical* — not approximately equal — under both engines.
+must be *identical* — not approximately equal — under all engines.
+
+Truncated runs matter as much as completed ones: a
+:class:`DeadlockError` or :class:`SimulationTimeout` raised mid-flight
+exercises the engines' finalize/clamping paths (the event engine must
+settle every sleeping PE's deferred-stall ledger before raising), so
+the suite also asserts that interrupted simulations leave bit-identical
+state and raise byte-identical reports.
 """
 
 import numpy as np
 import pytest
 
 from repro.config import SystemConfig
-from repro.core import ENGINES, System
+from repro.core import (DeadlockError, ENGINES, PEProgram, Program,
+                        StageSpec, System, STOP_VALUE)
+from repro.core.system import SimulationTimeout
 from repro.harness import prepare_input, run_experiment
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
 from repro.stats.telemetry import EventBus, PeriodicSampler
 
 # One representative input per workload, scaled down so the naive
@@ -43,15 +58,20 @@ def _same_result(a, b):
     return np.array_equal(a, b)
 
 
-def _assert_runs_identical(fast, naive):
-    assert fast.cycles == naive.cycles
-    assert [c.as_dict() for c in fast.pe_counters] == \
-        [c.as_dict() for c in naive.pe_counters]
-    assert fast.cpi_stacks() == naive.cpi_stacks()
-    assert fast.l1_stats == naive.l1_stats
-    assert fast.llc_stats == naive.llc_stats
-    assert fast.mem_stats == naive.mem_stats
-    assert _same_result(fast.result, naive.result)
+def _assert_runs_identical(runs):
+    """Every engine's run must match the naive per-cycle reference."""
+    naive = runs["naive"]
+    for engine, run in runs.items():
+        if engine == "naive":
+            continue
+        assert run.cycles == naive.cycles, engine
+        assert [c.as_dict() for c in run.pe_counters] == \
+            [c.as_dict() for c in naive.pe_counters], engine
+        assert run.cpi_stacks() == naive.cpi_stacks(), engine
+        assert run.l1_stats == naive.l1_stats, engine
+        assert run.llc_stats == naive.llc_stats, engine
+        assert run.mem_stats == naive.mem_stats, engine
+        assert _same_result(run.result, naive.result), engine
 
 
 @pytest.mark.parametrize("app,code,scale", _CASES)
@@ -60,9 +80,10 @@ def test_engines_identical_fifer(app, code, scale, prepared_inputs):
     runs = {engine: run_experiment(app, code, "fifer", prepared=prepared,
                                    engine=engine)
             for engine in ENGINES}
-    _assert_runs_identical(runs["fast"].raw, runs["naive"].raw)
-    assert runs["fast"].engine == "fast"
-    assert runs["naive"].engine == "naive"
+    _assert_runs_identical({e: r.raw for e, r in runs.items()})
+    for engine in ENGINES:
+        assert runs[engine].engine == engine
+        assert runs[engine].raw.engine == engine
 
 
 @pytest.mark.parametrize("app,code,scale", [("bfs", "Hu", 0.1),
@@ -72,14 +93,15 @@ def test_engines_identical_static(app, code, scale, prepared_inputs):
     runs = {engine: run_experiment(app, code, "static", prepared=prepared,
                                    engine=engine)
             for engine in ENGINES}
-    _assert_runs_identical(runs["fast"].raw, runs["naive"].raw)
+    _assert_runs_identical({e: r.raw for e, r in runs.items()})
 
 
 def test_sampled_series_identical(prepared_inputs):
-    """With a periodic sampler attached, the fast engine must still
-    visit every quantum boundary: the sampled time series (queue
-    occupancies, PE states, cumulative CPI stacks) match point for
-    point, not just the final totals."""
+    """With a periodic sampler attached, the shortcut engines must
+    still visit every quantum boundary (the event engine falls back to
+    exact replay): the sampled time series (queue occupancies, PE
+    states, cumulative CPI stacks) match point for point, not just the
+    final totals."""
     prepared = prepared_inputs[("bfs", "Hu")]
     samples = {}
     for engine in ENGINES:
@@ -89,6 +111,7 @@ def test_sampled_series_identical(prepared_inputs):
                        engine=engine, telemetry=bus)
         samples[engine] = sampler.samples
     assert samples["fast"] == samples["naive"]
+    assert samples["event"] == samples["naive"]
 
 
 def test_run_rejects_unknown_engine(prepared_inputs):
@@ -107,11 +130,152 @@ def test_system_run_default_engine_is_fast(prepared_inputs):
 
 def test_small_fabric_engines_identical(prepared_inputs):
     """A 4-PE fabric maximizes blocked time (stages contend for PEs),
-    the regime where the fast engine's bulk stall path does the most
+    the regime where the shortcut engines' stall paths do the most
     work."""
     prepared = prepared_inputs[("bfs", "Hu")]
     config = SystemConfig(n_pes=4)
     runs = {engine: run_experiment("bfs", "Hu", "fifer", prepared=prepared,
                                    config=config, engine=engine)
             for engine in ENGINES}
-    _assert_runs_identical(runs["fast"].raw, runs["naive"].raw)
+    _assert_runs_identical({e: r.raw for e, r in runs.items()})
+
+
+def test_event_engine_reports_event_counts(prepared_inputs):
+    """The event engine exposes its event counts (quanta visited,
+    per-PE quanta actually stepped, sleeps/wakes, quanta slept
+    through, quanta jumped) so benchmarks can report work done
+    alongside wall time."""
+    res = run_experiment("bfs", "Hu", "static",
+                         prepared=prepared_inputs[("bfs", "Hu")],
+                         engine="event")
+    stats = res.raw.engine_stats
+    assert {"quanta", "pe_quanta", "sleeps", "wakes", "slept_quanta",
+            "jumped_quanta"} <= set(stats)
+    assert stats["pe_quanta"] + stats["slept_quanta"] > 0
+    assert stats["sleeps"] >= stats["wakes"]
+
+
+# -- truncated runs: deadlock/timeout mid-flight --------------------------
+
+def _sink_dfg(name, in_q):
+    b = DFGBuilder(name)
+    x = b.deq(in_q)
+    b.add(x, x)
+    return b.finish()
+
+
+def _source_dfg(name, out_q):
+    b = DFGBuilder(name)
+    counter = b.reg("i")
+    one = b.const(1)
+    nxt = b.add(counter, one)
+    b.set_reg(counter, nxt)
+    b.enq(out_q, nxt)
+    return b.finish()
+
+
+def _truncatable_program(n_items, sink_consumes=True):
+    """Producer/consumer pair; with ``sink_consumes=False`` the sink
+    waits on a queue nothing feeds, so the run deadlocks once the
+    shared queue fills."""
+    space = AddressSpace()
+    seen = []
+
+    def producer(ctx):
+        for i in range(n_items):
+            yield from ctx.enq("trunc.q", i)
+        yield from ctx.enq("trunc.q", STOP_VALUE, is_control=True)
+
+    def consumer(ctx):
+        while True:
+            token = yield from ctx.deq("trunc.q")
+            if token.is_control:
+                return
+            seen.append(token.value)
+
+    def stuck_consumer(ctx):
+        yield from ctx.deq("trunc.never")
+
+    consumer_fn = consumer if sink_consumes else stuck_consumer
+    sink_queue = "trunc.q" if sink_consumes else "trunc.never"
+    pe = PEProgram(
+        shard=0,
+        queue_specs=[QueueSpec("trunc.q"), QueueSpec("trunc.never")],
+        stage_specs=[
+            StageSpec("trunc.src", _source_dfg("trunc.src", "trunc.q"),
+                      producer),
+            StageSpec("trunc.snk", _sink_dfg("trunc.snk", sink_queue),
+                      consumer_fn),
+        ])
+    return Program("trunc", [pe], space, MemoryMap(),
+                   result_fn=lambda: list(seen))
+
+
+def _truncated_state(engine, *, n_items, sink_consumes, config,
+                     max_cycles, expect):
+    """Run to the expected mid-flight exception; return the system's
+    complete observable state at the moment of the raise."""
+    program = _truncatable_program(n_items, sink_consumes=sink_consumes)
+    system = System(config, program, mode="fifer")
+    with pytest.raises(expect) as excinfo:
+        system.run(max_cycles=max_cycles, engine=engine)
+    return {
+        "cycle": system.cycle,
+        "counters": [pe.counters.as_dict() for pe in system.pes],
+        "queues": {name: (len(q), q.occupancy_words, q.total_enqueued)
+                   for name, q in system.queues.items()},
+        "message": str(excinfo.value),
+    }
+
+
+class TestTruncatedRuns:
+    """Interrupted simulations leave identical state under every
+    engine: the deferred-stall ledgers and horizon jumps must clamp
+    and settle exactly at the raise."""
+
+    def test_deadlock_state_identical(self):
+        config = SystemConfig(n_pes=1, deadlock_quanta=20)
+        states = {engine: _truncated_state(
+            engine, n_items=5, sink_consumes=False, config=config,
+            max_cycles=None, expect=DeadlockError) for engine in ENGINES}
+        assert states["fast"] == states["naive"]
+        assert states["event"] == states["naive"]
+
+    def test_timeout_state_identical(self):
+        config = SystemConfig(n_pes=1)
+        states = {engine: _truncated_state(
+            engine, n_items=10_000, sink_consumes=True, config=config,
+            max_cycles=640, expect=SimulationTimeout)
+            for engine in ENGINES}
+        assert states["fast"] == states["naive"]
+        assert states["event"] == states["naive"]
+
+    def test_timeout_through_quiescence_jump_identical(self):
+        """With the deadlock horizon far out and a nearer cycle limit,
+        a fully blocked system must time out — the event engine takes
+        its jump path (every PE asleep), the fast engine its
+        fast-forward, the naive engine ticks there; all three must
+        agree to the cycle."""
+        config = SystemConfig(n_pes=1, deadlock_quanta=100_000)
+        states = {engine: _truncated_state(
+            engine, n_items=5, sink_consumes=False, config=config,
+            max_cycles=50_000, expect=SimulationTimeout)
+            for engine in ENGINES}
+        assert states["fast"] == states["naive"]
+        assert states["event"] == states["naive"]
+
+    @pytest.mark.parametrize("max_cycles", [1_000, 2_500])
+    def test_workload_timeout_state_identical(self, max_cycles,
+                                              prepared_inputs):
+        """A real workload interrupted mid-flight (PEs mid-quantum,
+        some possibly asleep) reports identical cycles and timeout
+        text under every engine."""
+        prepared = prepared_inputs[("bfs", "Hu")]
+        messages = {}
+        for engine in ENGINES:
+            with pytest.raises(SimulationTimeout) as excinfo:
+                run_experiment("bfs", "Hu", "static", prepared=prepared,
+                               engine=engine, max_cycles=max_cycles)
+            messages[engine] = str(excinfo.value)
+        assert messages["fast"] == messages["naive"]
+        assert messages["event"] == messages["naive"]

@@ -1,0 +1,116 @@
+"""Unit tests for the event-driven engine's primitives
+(:mod:`repro.core.events`): the lazy-cancellation event queue, the
+sleep ledger record, and the wake-set derivation."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import PEProgram, Program, StageSpec, System
+from repro.core.events import EventQueue, SleepState, wake_queue_names
+from repro.ir import DFGBuilder
+from repro.memory import AddressSpace
+from repro.memory.memmap import MemoryMap
+from repro.queues import QueueSpec
+
+
+class TestEventQueue:
+    def test_pops_in_cycle_order(self):
+        q = EventQueue()
+        q.schedule("c", 30.0)
+        q.schedule("a", 10.0)
+        q.schedule("b", 20.0)
+        assert [q.pop() for _ in range(3)] == [
+            (10.0, "a"), (20.0, "b"), (30.0, "c")]
+
+    def test_ties_pop_in_insertion_order(self):
+        q = EventQueue()
+        q.schedule("second", 5.0)
+        q.schedule("first", 5.0)
+        assert q.pop() == (5.0, "second")
+        assert q.pop() == (5.0, "first")
+
+    def test_reschedule_supersedes(self):
+        q = EventQueue()
+        q.schedule("x", 100.0)
+        q.schedule("x", 10.0)
+        assert len(q) == 1
+        assert q.scheduled_cycle("x") == 10.0
+        assert q.pop() == (10.0, "x")
+        assert len(q) == 0
+
+    def test_cancel_removes_lazily(self):
+        q = EventQueue()
+        q.schedule("x", 1.0)
+        q.schedule("y", 2.0)
+        q.cancel("x")
+        q.cancel("never-scheduled")  # no-op
+        assert q.scheduled_cycle("x") is None
+        assert q.next_cycle() == 2.0
+        assert q.pop() == (2.0, "y")
+
+    def test_next_cycle_empty(self):
+        q = EventQueue()
+        assert q.next_cycle() is None
+        q.schedule("x", 7.0)
+        q.cancel("x")
+        assert q.next_cycle() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_counts_live_entries(self):
+        q = EventQueue()
+        q.schedule("a", 1.0)
+        q.schedule("b", 2.0)
+        q.schedule("a", 3.0)  # supersede, not add
+        assert len(q) == 2
+        q.cancel("b")
+        assert len(q) == 1
+
+
+class TestSleepState:
+    def test_carries_frozen_bucket(self):
+        state = SleepState(owed_from=128.0, bucket="stall_queue_empty",
+                           watching=("q1", "q2"))
+        assert state.owed_from == 128.0
+        assert state.bucket == "stall_queue_empty"
+        assert state.watching == ("q1", "q2")
+
+
+def _blocked_system():
+    """One PE whose single started stage blocks on an empty queue."""
+    space = AddressSpace()
+
+    def sink_dfg():
+        b = DFGBuilder("ev.snk")
+        x = b.deq("ev.in")
+        b.add(x, x)
+        return b.finish()
+
+    def consumer(ctx):
+        yield from ctx.deq("ev.in")
+
+    pe = PEProgram(shard=0, queue_specs=[QueueSpec("ev.in")],
+                   stage_specs=[StageSpec("ev.snk", sink_dfg(), consumer)])
+    program = Program("ev", [pe], space, MemoryMap())
+    return System(SystemConfig(n_pes=1), program, mode="fifer")
+
+
+class TestWakeQueueNames:
+    def test_blocked_deq_watches_its_queue(self):
+        system = _blocked_system()
+        pe = system.pes[0]
+        # First quanta cover reconfiguration + stage start; the stage
+        # then blocks for good on its empty input.
+        for _ in range(4):
+            pe.run_quantum(float(system.config.quantum), fast=True)
+        assert not pe.can_progress()
+        assert wake_queue_names(pe) == {"ev.in"}
+
+    def test_finished_stage_watches_nothing(self):
+        system = _blocked_system()
+        pe = system.pes[0]
+        stage = pe.stages[0]
+        stage.done = True
+        assert wake_queue_names(pe) == set()
