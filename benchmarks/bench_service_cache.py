@@ -1,0 +1,153 @@
+"""Service-cache benchmark: cold vs warm submit, compile-cache reuse.
+
+Quantifies what the experiment service's two cache layers buy:
+
+* **result cache** — one spec submitted to a live in-process server
+  twice; the cold submission simulates, the warm one replays stored
+  canonical bytes. Reports both latencies and the speedup.
+* **artifact cache** — a kernel compiled against a cold and a warm
+  :class:`repro.cache.ArtifactCache` (split analysis skipped on the
+  warm pass), and a stage DFG mapped cold/warm through
+  :func:`repro.cgra.map_dfg_cached`.
+
+The warm/cold ratios are host-independent enough to eyeball; the
+absolute times are provenance for the emitted block. Manifests for the
+submitted points land under ``results/manifests/`` so ``repro
+bench-diff`` can gate the simulated cycles like any other benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import shutil
+import threading
+import time
+
+from bench_common import (ALL_APPS, ENGINE, MANIFEST_DIR, RESULTS_DIR,
+                          SCALE_MULT, app_inputs, emit)
+from repro.cache import ArtifactCache
+from repro.cgra import FabricSpec, map_dfg_cached
+from repro.config import FabricConfig
+from repro.frontend.kernels import bfs_kernel
+from repro.frontend.lower import compile_kernel
+from repro.harness import format_table, merge_sweep_manifests
+from repro.harness.run import GRAPH_APPS, default_scale
+from repro.ir import DFGBuilder
+from repro.service import ExperimentServer, ServiceClient
+from repro.stats.manifest import write_manifest
+
+
+def _bench_spec() -> dict:
+    app = next((a for a in ALL_APPS if a in GRAPH_APPS), ALL_APPS[0])
+    code = app_inputs(app)[0]
+    # Half the default scale: the point of this benchmark is cache
+    # behavior, not simulation fidelity.
+    return {"app": app, "input_code": code, "system": "fifer",
+            "scale": round(default_scale(app, code) * SCALE_MULT * 0.5, 6),
+            "engine": ENGINE}
+
+
+def _submit_timings(spec: dict, cache_root) -> dict:
+    """Cold and warm submit latency against a live server."""
+    server = ExperimentServer(cache_root=cache_root, port=0, workers=2)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=lambda: (asyncio.set_event_loop(loop), loop.run_forever()),
+        daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=60)
+    client = ServiceClient(port=server.port, timeout=600)
+    try:
+        t0 = time.perf_counter()
+        cold = client.submit(spec)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = client.submit(spec)
+        warm_s = time.perf_counter() - t0
+        assert not cold.served_from_cache and warm.served_from_cache
+        assert cold.manifest_bytes == warm.manifest_bytes
+        return {"cold_s": cold_s, "warm_s": warm_s,
+                "compute_s": cold.wall_time_s,
+                "manifest": cold.manifest}
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(
+            timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+
+def _stage_dfg():
+    b = DFGBuilder("enumerate")
+    element = b.deq("q_start")
+    end = b.deq("q_end")
+    addr = b.lea(b.const(0x1000), element)
+    b.enq("q_ngh", b.load(addr))
+    b.lt(b.add(element, b.const(1)), end)
+    return b.finish()
+
+
+def _compile_timings() -> dict:
+    """Split-analysis and fabric-mapping reuse through the cache."""
+    cache = ArtifactCache()
+    t0 = time.perf_counter()
+    compile_kernel(bfs_kernel(), cache=cache)
+    compile_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    compile_kernel(bfs_kernel(), cache=cache)
+    compile_warm_s = time.perf_counter() - t0
+    assert cache.counters["split_plan.hit"] == 1
+
+    fabric = FabricSpec.from_config(FabricConfig())
+    dfg = _stage_dfg()
+    t0 = time.perf_counter()
+    map_dfg_cached(dfg, fabric, cache=cache)
+    map_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    map_dfg_cached(dfg, fabric, cache=cache)
+    map_warm_s = time.perf_counter() - t0
+    assert cache.counters["mapping.hit"] == 1
+    return {"compile_cold_s": compile_cold_s,
+            "compile_warm_s": compile_warm_s,
+            "map_cold_s": map_cold_s, "map_warm_s": map_warm_s}
+
+
+def run_service_cache() -> None:
+    spec = _bench_spec()
+    cache_root = RESULTS_DIR / "service-cache"
+    shutil.rmtree(cache_root, ignore_errors=True)
+
+    submit = _submit_timings(spec, cache_root)
+    compile_t = _compile_timings()
+
+    MANIFEST_DIR.mkdir(parents=True, exist_ok=True)
+    write_manifest(submit["manifest"], MANIFEST_DIR)
+    merged = merge_sweep_manifests([submit["manifest"]])
+    (MANIFEST_DIR / "sweep.json").write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    def _x(cold, warm):
+        return f"{cold / warm:,.0f}x" if warm > 0 else "-"
+
+    rows = [
+        ["result cache (submit)", f"{submit['cold_s'] * 1e3:,.1f}",
+         f"{submit['warm_s'] * 1e3:,.1f}",
+         _x(submit["cold_s"], submit["warm_s"])],
+        ["split analysis (compile)", f"{compile_t['compile_cold_s'] * 1e3:,.1f}",
+         f"{compile_t['compile_warm_s'] * 1e3:,.1f}",
+         _x(compile_t["compile_cold_s"], compile_t["compile_warm_s"])],
+        ["fabric mapping", f"{compile_t['map_cold_s'] * 1e3:,.1f}",
+         f"{compile_t['map_warm_s'] * 1e3:,.1f}",
+         _x(compile_t["map_cold_s"], compile_t["map_warm_s"])],
+    ]
+    label = f"{spec['app']}/{spec['input_code']} ({spec['engine']} engine)"
+    text = format_table(
+        ["layer", "cold (ms)", "warm (ms)", "speedup"], rows,
+        title=f"service cache: cold vs warm, {label}; cold submit "
+              f"includes {submit['compute_s']:.2f}s of simulation")
+    emit("service_cache", text)
+
+
+if __name__ == "__main__":
+    run_service_cache()

@@ -1,0 +1,177 @@
+"""Content addressing for the compile/experiment caches.
+
+Every cache in the repository keys entries by *content*, never by name:
+
+* :func:`code_version` — digest of the ``repro`` package sources; the
+  on-disk artifact cache namespaces entries under it so a code change
+  can never serve stale compiled artifacts;
+* :func:`dataset_digest` — digest of the synthetic-input generators
+  plus the input coordinates; part of every result-cache key;
+* :func:`kernel_fingerprint` — a canonical serialization of an
+  annotated kernel's structure (refs, expression graph, statements,
+  init-function sources), so editing a kernel in any observable way
+  yields a new split-plan key;
+* :func:`mapping_key` — the stage DFG's assembly text (a faithful,
+  round-trippable serialization — see ``repro.ir.asmparse``) plus the
+  fabric geometry, keying fabric mappings.
+
+All digests are sha256 hex strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import textwrap
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+
+def sha256_text(*parts: str) -> str:
+    """Digest a sequence of text parts with unambiguous framing."""
+    h = hashlib.sha256()
+    for part in parts:
+        data = part.encode("utf-8")
+        h.update(str(len(data)).encode("ascii"))
+        h.update(b":")
+        h.update(data)
+    return h.hexdigest()
+
+
+@lru_cache(maxsize=8)
+def _tree_digest(root: str) -> str:
+    """Digest of every ``*.py`` file under ``root`` (sorted paths)."""
+    root_path = Path(root)
+    h = hashlib.sha256()
+    for path in sorted(root_path.rglob("*.py")):
+        rel = path.relative_to(root_path).as_posix()
+        data = path.read_bytes()
+        h.update(rel.encode("utf-8"))
+        h.update(str(len(data)).encode("ascii"))
+        h.update(data)
+    return h.hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (this checkout)."""
+    import repro
+    return _tree_digest(str(Path(repro.__file__).resolve().parent))
+
+
+def dataset_digest(app: str, input_code: str, scale: float,
+                   seed: int) -> str:
+    """Content-address of one synthetic input.
+
+    The inputs are generated, not stored, so the digest covers the
+    generator code (``repro.datasets``) plus the generation
+    coordinates — cheaper than hashing the materialized arrays and
+    exactly as discriminating, because generation is deterministic.
+    """
+    import repro.datasets
+    generators = _tree_digest(
+        str(Path(repro.datasets.__file__).resolve().parent))
+    return sha256_text("dataset/v1", generators, app, input_code,
+                       repr(float(scale)), repr(int(seed)))
+
+
+# -- kernel fingerprinting -------------------------------------------------
+
+_SIMPLE_CELL_TYPES = (int, float, str, bool, bytes, type(None))
+
+
+def callable_fingerprint(fn, _depth: int = 0) -> Optional[str]:
+    """Digest a Python callable by source + defaults + closure cells.
+
+    Captured values that cannot be rendered deterministically degrade
+    to an in-process-unique token: the cache then misses conservatively
+    instead of aliasing two behaviors under one key.
+    """
+    if fn is None:
+        return None
+    parts = [getattr(fn, "__qualname__", "") or repr(type(fn))]
+    try:
+        parts.append(textwrap.dedent(inspect.getsource(fn)))
+    except (OSError, TypeError):
+        parts.append(f"<no-source:{id(fn)}>")
+    defaults = getattr(fn, "__defaults__", None)
+    parts.append(repr(defaults) if defaults else "")
+    closure = getattr(fn, "__closure__", None)
+    if closure and _depth < 8:
+        for cell in closure:
+            try:
+                value = cell.cell_contents
+            except ValueError:
+                parts.append("<empty-cell>")
+                continue
+            if isinstance(value, _SIMPLE_CELL_TYPES):
+                parts.append(repr(value))
+            elif callable(value):
+                parts.append(callable_fingerprint(value, _depth + 1) or "")
+            else:
+                parts.append(f"<cell:{type(value).__name__}:{id(value)}>")
+    return sha256_text("callable/v1", *parts)
+
+
+def _value_entry(value) -> list:
+    """Canonical row for one kernel SSA value."""
+    attr: object = None
+    if value.op == "load":
+        attr = ["load", value.attr.ref.name, bool(value.attr.owner)]
+    elif value.op == "const":
+        attr = ["const", repr(value.attr)]
+    elif value.op == "edge":
+        attr = ["edge", [bound.vid for bound in value.attr]]
+    return [value.vid, value.op, [a.vid for a in value.args], attr,
+            bool(value.in_edge_loop)]
+
+
+def kernel_fingerprint(kernel) -> str:
+    """Canonical content-address of a :class:`GraphKernel`.
+
+    Walks the declaration list, the SSA expression graph, and the
+    statement list in definition order; any edit that changes what the
+    front-end would compile — a different constant, predicate, ref
+    shape, init function, or fringe — changes the digest. Two
+    structurally identical kernels (e.g. the same factory called
+    twice) fingerprint identically.
+    """
+    rows = [
+        "kernel/v1",
+        kernel.name,
+        repr(sorted(kernel.params.items())),
+        repr(tuple(kernel.fringe)),
+    ]
+    for ref in kernel.refs:
+        rows.append(repr([ref.name, ref.size, bool(ref.mutable),
+                          bool(ref.output),
+                          callable_fingerprint(ref.init)]))
+    for value in kernel.values:
+        rows.append(repr(_value_entry(value)))
+    for stmt in kernel.statements:
+        rows.append(repr([
+            stmt.sid, stmt.kind,
+            stmt.ref.name if stmt.ref is not None else None,
+            stmt.index.vid if stmt.index is not None else None,
+            stmt.value.vid if stmt.value is not None else None,
+            bool(stmt.dedup),
+            [p.vid for p in stmt.preds],
+            bool(stmt.in_edge_loop),
+        ]))
+    return sha256_text(*rows)
+
+
+def mapping_key(dfg, fabric, max_replication: Optional[int]) -> str:
+    """Content-address of one fabric mapping.
+
+    The DFG's assembly text is a faithful serialization (the asm
+    round-trip suite asserts it parses back to an equivalent graph),
+    so identical asm ⇒ identical mapping inputs; the fabric geometry
+    and the replication cap are the only other mapping inputs.
+    """
+    return sha256_text(
+        "mapping/v1", dfg.name, dfg.to_asm(),
+        repr((fabric.cols, fabric.rows, fabric.fma_units,
+              fabric.config_bytes)),
+        repr(max_replication))

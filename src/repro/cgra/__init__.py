@@ -7,8 +7,9 @@ the :mod:`repro.cgra.mapper` produces for each stage's dataflow graph.
 """
 
 from repro.cgra.fabric import FabricSpec
-from repro.cgra.mapper import Mapping, UnmappableStageError, map_dfg
+from repro.cgra.mapper import (Mapping, UnmappableStageError, map_dfg,
+                               map_dfg_cached)
 from repro.cgra.bitstream import generate_bitstream, parse_bitstream
 
 __all__ = ["FabricSpec", "Mapping", "UnmappableStageError", "map_dfg",
-           "generate_bitstream", "parse_bitstream"]
+           "map_dfg_cached", "generate_bitstream", "parse_bitstream"]

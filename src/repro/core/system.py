@@ -17,7 +17,7 @@ from typing import Any, Optional
 
 from repro.cgra.bitstream import generate_bitstream
 from repro.cgra.fabric import FabricSpec
-from repro.cgra.mapper import Mapping, map_dfg
+from repro.cgra.mapper import Mapping, map_dfg_cached
 from repro.config import SystemConfig
 from repro.core.drm import DRM
 from repro.core.events import EventQueue, SleepState, wake_queue_names
@@ -140,8 +140,9 @@ class System:
                 caps = [cap for cap in (spec.max_replication,
                                         config.max_simd_replication)
                         if cap is not None]
-                mapping = map_dfg(spec.dfg, self.fabric,
-                                  max_replication=min(caps) if caps else None)
+                mapping = map_dfg_cached(
+                    spec.dfg, self.fabric,
+                    max_replication=min(caps) if caps else None)
                 self.mappings[spec.name] = mapping
                 config_region = program.address_space.alloc(
                     f"__cfg_{spec.name}", mapping.config_bytes)

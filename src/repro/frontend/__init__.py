@@ -24,10 +24,11 @@ from repro.frontend.lint import PipelineLintError
 from repro.frontend.split import StagePlan, analyze
 from repro.frontend.lower import (CompiledPipeline, FrontendWorkload,
                                   compile_kernel)
-from repro.frontend.kernels import (FRONTEND_KERNELS, get_frontend,
-                                    sssp_edge_weights, SSSP_INF)
+from repro.frontend.kernels import (FRONTEND_KERNELS, describe_cached,
+                                    get_frontend, sssp_edge_weights,
+                                    SSSP_INF)
 
 __all__ = ["FrontendError", "GraphKernel", "PipelineLintError", "StagePlan",
            "analyze", "CompiledPipeline", "FrontendWorkload",
-           "compile_kernel", "FRONTEND_KERNELS", "get_frontend",
-           "sssp_edge_weights", "SSSP_INF"]
+           "compile_kernel", "FRONTEND_KERNELS", "describe_cached",
+           "get_frontend", "sssp_edge_weights", "SSSP_INF"]

@@ -134,3 +134,23 @@ def get_frontend(name: str) -> CompiledPipeline:
         pipeline = compile_kernel(factory())
         _COMPILED[name] = pipeline
     return pipeline
+
+
+def describe_cached(name: str) -> dict:
+    """The compile description of a registered kernel, content-cached.
+
+    :meth:`CompiledPipeline.describe` materializes every stage DFG to
+    produce the stage list, queue graph, and per-stage assembly; the
+    result depends only on the kernel, so it is cached under the
+    kernel's fingerprint — as JSON on disk when a cache root is
+    configured, making ``repro compile`` of an unchanged kernel a hash
+    plus a file read across processes.
+    """
+    from repro.cache import get_artifact_cache, kernel_fingerprint
+    cache = get_artifact_cache()
+    key = kernel_fingerprint(FRONTEND_KERNELS[name]())
+    description = cache.get("describe", key)
+    if description is None:
+        description = get_frontend(name).describe()
+        cache.put("describe", key, description)
+    return description

@@ -457,7 +457,26 @@ class CompiledPipeline:
         }
 
 
-def compile_kernel(kernel: GraphKernel) -> CompiledPipeline:
-    """Split, lint, and prepare ``kernel`` for lowering."""
-    plan = analyze(kernel)
+def compile_kernel(kernel: GraphKernel,
+                   cache=None) -> CompiledPipeline:
+    """Split, lint, and prepare ``kernel`` for lowering.
+
+    Split plans are content-addressed by the kernel's structural
+    fingerprint (:func:`repro.cache.kernel_fingerprint`): a repeat
+    compile of an unchanged kernel performs no split analysis — the
+    cached :class:`~repro.frontend.split.StagePlan` is reused, and the
+    ``split_plan.hit``/``split_plan.miss`` counters of the artifact
+    cache prove it. Any observable edit to the kernel (structure,
+    constants, init functions) changes the fingerprint and re-analyzes.
+    Plans hold init closures, so this layer is in-memory only; pass an
+    explicit ``cache`` to isolate (tests) or share one deliberately.
+    """
+    from repro.cache import get_artifact_cache, kernel_fingerprint
+    if cache is None:
+        cache = get_artifact_cache()
+    key = kernel_fingerprint(kernel)
+    plan = cache.get("split_plan", key)
+    if plan is None:
+        plan = analyze(kernel)
+        cache.put("split_plan", key, plan)
     return CompiledPipeline(kernel, plan)

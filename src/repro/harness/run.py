@@ -150,11 +150,63 @@ def prepare_input(app: str, code: str, scale: Optional[float] = None,
     raise ValueError(f"unknown app {app!r}")
 
 
-def _system_config(app: str, base: Optional[SystemConfig]) -> SystemConfig:
+def resolve_config(app: str,
+                   base: Optional[SystemConfig] = None) -> SystemConfig:
+    """Resolve the effective :class:`SystemConfig` for one app.
+
+    Pure: the same (app, base) always yields the same config. Part of
+    the experiment pipeline's cacheable phase decomposition
+    (prepare → compile → simulate → verify)."""
     config = base or SystemConfig()
     if app == "silo":
         config = silo_mod.recommended_config(config)
     return config
+
+
+def build_cgra_program(prepared: PreparedInput, config: SystemConfig,
+                       mode: str, variant: str):
+    """Compile phase: build the (program, workload) for a CGRA system.
+
+    Pure function of its arguments — repeated compiles of the same
+    prepared input and config produce equivalent programs, which is
+    what lets the artifact cache (split plans, stage-DFG mappings)
+    reuse products across runs."""
+    return _build_cgra_program(prepared, config, mode, variant)
+
+
+def simulate_cgra(program, config: SystemConfig, mode: str,
+                  engine: str = "fast", max_cycles: float = 2e9,
+                  telemetry=None, sanitize: bool = False,
+                  profile: bool = False):
+    """Simulate phase: instantiate and run one compiled program.
+
+    Returns ``(raw, run_profile)`` where ``raw`` is the
+    :class:`~repro.core.system.SimulationResult` and ``run_profile``
+    the wait-for profile (or ``None``). Deterministic given its
+    inputs; the verify/manifest phases build on the result."""
+    simulator = System(config, program, mode=mode, telemetry=telemetry)
+    sanitizer = None
+    profiler = None
+    run_profile = None
+    if profile:
+        from repro.profiling import attach_profiler
+        profiler = attach_profiler(simulator, bus=telemetry)
+    if sanitize:
+        from repro.analysis import SimulationSanitizer
+        sanitizer = SimulationSanitizer().arm(simulator)
+    try:
+        raw = simulator.run(max_cycles=max_cycles, engine=engine)
+    finally:
+        if sanitizer is not None:
+            sanitizer.disarm()
+    if profiler is not None:
+        run_profile = profiler.finalize(raw.pe_counters, raw.cycles)
+    return raw, run_profile
+
+
+# Backwards-compatible private aliases (pre-service callers).
+def _system_config(app: str, base: Optional[SystemConfig]) -> SystemConfig:
+    return resolve_config(app, base)
 
 
 def _build_cgra_program(prepared: PreparedInput, config: SystemConfig,
@@ -261,7 +313,8 @@ def run_experiment(app: str, input_code: str, system: str,
                    manifest_dir=None,
                    engine: str = "fast",
                    sanitize: bool = False,
-                   profile: bool = False) -> ExperimentResult:
+                   profile: bool = False,
+                   on_phase=None) -> ExperimentResult:
     """Run one experiment; see module docstring for the system names.
 
     ``telemetry`` is an optional :class:`repro.stats.telemetry.EventBus`
@@ -279,6 +332,11 @@ def run_experiment(app: str, input_code: str, system: str,
     CGRA runs — blame matrix, critical path, what-if inputs — exposed
     as ``result.profile`` and, with ``manifest_dir``, summarized into
     the run manifest.
+    ``on_phase`` is an optional callable fired with a phase name as the
+    run advances — ``"preparing"`` (only when the input is generated
+    here), ``"compiling"``, ``"simulating"``, ``"verifying"`` — used by
+    the experiment service to stream progress; it never affects the
+    result.
     """
     from repro.core import ENGINES
     if system not in SYSTEMS:
@@ -288,6 +346,8 @@ def run_experiment(app: str, input_code: str, system: str,
     if scale is None and prepared is None:
         scale = default_scale(app, input_code)
     if prepared is None:
+        if on_phase is not None:
+            on_phase("preparing")
         prepared = prepare_input(app, input_code, scale=scale, seed=seed)
     if profile and system in ("serial", "multicore"):
         raise ValueError(
@@ -298,34 +358,31 @@ def run_experiment(app: str, input_code: str, system: str,
     t_start = time.perf_counter()
     if system in ("serial", "multicore"):
         n_cores = 1 if system == "serial" else 4
+        if on_phase is not None:
+            on_phase("compiling")
         kernel = _ooo_kernel(prepared, n_cores)
+        if on_phase is not None:
+            on_phase("simulating")
         raw = run_ooo(kernel, n_cores, ooo_config)
         energy = energy_model.ooo_energy(raw).as_dict()
         result = raw.result
     else:
-        sys_config = _system_config(app, config)
-        program, _workload = _build_cgra_program(
+        sys_config = resolve_config(app, config)
+        if on_phase is not None:
+            on_phase("compiling")
+        program, _workload = build_cgra_program(
             prepared, sys_config, system, variant)
-        simulator = System(sys_config, program, mode=system,
-                           telemetry=telemetry)
-        sanitizer = None
-        profiler = None
-        if profile:
-            from repro.profiling import attach_profiler
-            profiler = attach_profiler(simulator, bus=telemetry)
-        if sanitize:
-            from repro.analysis import SimulationSanitizer
-            sanitizer = SimulationSanitizer().arm(simulator)
-        try:
-            raw = simulator.run(max_cycles=max_cycles, engine=engine)
-        finally:
-            if sanitizer is not None:
-                sanitizer.disarm()
-        if profiler is not None:
-            run_profile = profiler.finalize(raw.pe_counters, raw.cycles)
+        if on_phase is not None:
+            on_phase("simulating")
+        raw, run_profile = simulate_cgra(
+            program, sys_config, system, engine=engine,
+            max_cycles=max_cycles, telemetry=telemetry,
+            sanitize=sanitize, profile=profile)
         energy = energy_model.cgra_energy(raw).as_dict()
         result = raw.result
     wall_time_s = time.perf_counter() - t_start
+    if on_phase is not None:
+        on_phase("verifying")
     correct = _check(app, result, prepared.golden) if check else True
     if check and not correct:
         raise AssertionError(

@@ -1,0 +1,33 @@
+"""Simulation-as-a-service: the async experiment server and its caches.
+
+Layered on the harness (nothing here changes what a simulation
+computes — byte-identity with the CLI path is a locked invariant):
+
+* :mod:`repro.service.spec` — spec validation, canonicalization, and
+  the content-addressed result-cache key;
+* :mod:`repro.service.store` — on-disk store of canonical manifest
+  bytes, one entry per key;
+* :mod:`repro.service.worker` — process-pool entry point running one
+  spec with file-based phase progress;
+* :mod:`repro.service.server` — the asyncio server: result-cache
+  lookup, in-flight dedup, bounded pool, ndjson event streams;
+* :mod:`repro.service.client` — blocking stdlib client used by the
+  CLI, tests, and benchmarks.
+
+See ``docs/service.md`` for the protocol and cache layout.
+"""
+
+from repro.service.spec import (SPEC_FIELDS, SpecError, canonicalize_spec,
+                                config_from_dict, spec_key, spec_point)
+from repro.service.store import ResultStore
+from repro.service.worker import execute_spec
+from repro.service.server import ExperimentServer, run_server
+from repro.service.client import ServiceClient, ServiceError, SubmitOutcome
+
+__all__ = [
+    "SPEC_FIELDS", "SpecError", "canonicalize_spec", "config_from_dict",
+    "spec_key", "spec_point",
+    "ResultStore", "execute_spec",
+    "ExperimentServer", "run_server",
+    "ServiceClient", "ServiceError", "SubmitOutcome",
+]

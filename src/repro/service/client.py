@@ -1,0 +1,156 @@
+"""Blocking client for the experiment service.
+
+``ServiceClient`` speaks the server's minimal HTTP/1.0 dialect over a
+plain socket — stdlib only, usable from tests, the CLI (``repro
+submit``), and benchmarks without pulling in any HTTP library. One
+request per connection (the server closes after each response), so the
+client is trivially thread-safe: every call opens its own socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.stats.manifest import canonical_json
+
+
+class ServiceError(RuntimeError):
+    """The server reported an error (HTTP status or error event)."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 detail: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.detail = detail or {}
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything one ``/submit`` exchange produced."""
+
+    key: str
+    served_from_cache: bool
+    manifest: dict
+    events: List[dict] = field(default_factory=list)
+    engine_stats: Optional[dict] = None
+    wall_time_s: Optional[float] = None
+
+    @property
+    def phases(self) -> List[str]:
+        return [e["phase"] for e in self.events if e["event"] == "phase"]
+
+    @property
+    def manifest_bytes(self) -> bytes:
+        """The canonical manifest bytes — identical across cache-hit,
+        server-computed, and local CLI paths (the manifest is already
+        volatile-stripped server-side)."""
+        return canonical_json(self.manifest).encode("utf-8")
+
+
+class ServiceClient:
+    """Talk to an :class:`~repro.service.server.ExperimentServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8177,
+                 timeout: float = 600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw HTTP ----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+
+    def _request_lines(self, method: str, path: str,
+                       body: Optional[bytes] = None):
+        """Yield ``(status, parsed-JSON-line)`` for one exchange.
+
+        The server either sends one JSON document (plain endpoints) or
+        a stream of newline-delimited JSON events (``/submit``); both
+        arrive here as one parsed object per yield.
+        """
+        body = body or b""
+        request = (f"{method} {path} HTTP/1.0\r\n"
+                   f"Host: {self.host}\r\n"
+                   f"Content-Length: {len(body)}\r\n"
+                   f"Connection: close\r\n\r\n").encode("latin-1") + body
+        with self._connect() as sock:
+            sock.sendall(request)
+            with sock.makefile("rb") as stream:
+                status_line = stream.readline().decode("latin-1")
+                try:
+                    status = int(status_line.split(" ", 2)[1])
+                except (IndexError, ValueError):
+                    raise ServiceError(
+                        f"malformed status line {status_line!r}")
+                while True:  # drain headers
+                    line = stream.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                for raw in stream:
+                    text = raw.decode("utf-8").strip()
+                    if text:
+                        yield status, json.loads(text)
+
+    def _request_json(self, method: str, path: str,
+                      body: Optional[dict] = None) -> dict:
+        payload = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        status = 0
+        document: dict = {}
+        for status, document in self._request_lines(method, path, payload):
+            break
+        if status != 200:
+            raise ServiceError(
+                document.get("error", f"HTTP {status} from {path}"),
+                status=status, detail=document)
+        return document
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request_json("GET", "/health")
+
+    def cache_stats(self) -> dict:
+        return self._request_json("GET", "/cache/stats")
+
+    def cache_gc(self) -> dict:
+        return self._request_json("POST", "/cache/gc")
+
+    def submit(self, spec: dict,
+               on_event: Optional[Callable[[dict], None]] = None
+               ) -> SubmitOutcome:
+        """Submit one experiment spec and wait for its result.
+
+        Streams progress events (``on_event`` sees each as it arrives)
+        and returns the final :class:`SubmitOutcome`. Raises
+        :class:`ServiceError` on HTTP errors, malformed specs, and
+        failed runs (carrying the server's error record in
+        ``detail``).
+        """
+        payload = json.dumps(spec).encode("utf-8")
+        events: List[dict] = []
+        for status, event in self._request_lines("POST", "/submit", payload):
+            if status != 200:
+                raise ServiceError(
+                    event.get("error", f"HTTP {status} from /submit"),
+                    status=status, detail=event)
+            events.append(event)
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") == "error":
+                raise ServiceError(
+                    f"{event.get('error_type', 'Error')}: "
+                    f"{event.get('message', '')}", detail=event)
+            if event.get("event") == "done":
+                return SubmitOutcome(
+                    key=event["key"],
+                    served_from_cache=event["served_from_cache"],
+                    manifest=event["manifest"], events=events,
+                    engine_stats=event.get("engine_stats"),
+                    wall_time_s=event.get("wall_time_s"))
+        raise ServiceError("connection closed before a done/error event")

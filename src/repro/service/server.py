@@ -1,0 +1,369 @@
+"""Simulation-as-a-service: the async experiment server.
+
+``ExperimentServer`` is a long-running asyncio server (stdlib only —
+``asyncio.start_server`` with hand-rolled HTTP/1.0 framing) that turns
+the harness into a shared, cached service:
+
+* ``POST /submit`` — body is a JSON experiment spec
+  (:mod:`repro.service.spec`). The response streams newline-delimited
+  JSON events: ``queued`` → ``preparing``/``compiling``/``simulating``
+  /``verifying`` → ``done`` (or ``error``). The ``done`` event carries
+  the volatile-stripped run manifest, whether it was served from
+  cache, the engine work counters, and the compute wall time.
+* ``GET /cache/stats`` — result-store + artifact-cache + server
+  counters; ``POST /cache/gc`` — drop cached results and stale
+  artifact versions.
+* ``GET /health`` — liveness and in-flight job count.
+
+Identical specs are *deduplicated at every level*: a spec whose result
+is already stored is served from disk without touching the pool; two
+concurrent submissions of the same uncached spec share one simulation
+(the second subscribes to the first's job and receives the same event
+stream). Simulations run on a bounded ``ProcessPoolExecutor``; workers
+report phase progress through per-job progress files the event loop
+tails (:mod:`repro.service.worker`).
+
+The byte-identity contract: the manifest served for a spec is the same
+canonical bytes whether it was just computed, replayed from the result
+store, or produced by ``run_experiment`` + ``canonical_json`` locally
+— locked by the differential suite in ``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Optional
+
+from repro.service.spec import canonicalize_spec, spec_key
+from repro.service.store import ResultStore
+from repro.service.worker import execute_spec, init_worker
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error"}
+
+#: Seconds between progress-file polls while a job simulates.
+POLL_INTERVAL = 0.02
+
+
+class _Job:
+    """One in-flight simulation: a key plus its subscriber queues."""
+
+    def __init__(self, key: str, canonical: dict):
+        self.key = key
+        self.canonical = canonical
+        self.subscribers: list = []
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        self.subscribers.append(queue)
+        return queue
+
+    def broadcast(self, event: dict) -> None:
+        for queue in self.subscribers:
+            queue.put_nowait(event)
+
+
+class ExperimentServer:
+    """Async experiment server over a result store and a process pool.
+
+    ``workers`` bounds concurrent simulations (pool size and the
+    admission semaphore). ``port=0`` binds an ephemeral port; read
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 cache_root=None, workers: int = 2,
+                 poll_interval: float = POLL_INTERVAL):
+        if cache_root is None:
+            from repro.cache import default_cache_root
+            cache_root = default_cache_root()
+        self.host = host
+        self.port = port
+        self.cache_root = Path(cache_root)
+        self.store = ResultStore(self.cache_root)
+        self.workers = max(1, int(workers))
+        self.poll_interval = poll_interval
+        self.counters = {"submissions": 0, "result_hits": 0,
+                         "result_misses": 0, "deduped": 0,
+                         "simulations": 0, "errors": 0}
+        self._jobs: dict = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        from repro.cache import configure_artifact_cache
+        configure_artifact_cache(self.cache_root)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=init_worker,
+            initargs=(str(self.cache_root),))
+        self._semaphore = asyncio.Semaphore(self.workers)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        self._jobs.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- HTTP framing ------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request_line = (await reader.readline()).decode(
+                "latin-1").strip()
+            if not request_line:
+                return
+            try:
+                method, path, _version = request_line.split(" ", 2)
+            except ValueError:
+                await self._respond(writer, 400,
+                                    {"error": "malformed request line"})
+                return
+            headers = {}
+            while True:
+                line = (await reader.readline()).decode("latin-1")
+                if line in ("\r\n", "\n", ""):
+                    break
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", 0) or 0)
+            if length:
+                body = await reader.readexactly(length)
+            await self._route(writer, method.upper(), path, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, writer, status: int, document: dict) -> None:
+        # One line so the client can parse every response body as
+        # newline-delimited JSON, streaming or not.
+        payload = (json.dumps(document, sort_keys=True)
+                   + "\n").encode("utf-8")
+        writer.write((
+            f"HTTP/1.0 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    async def _route(self, writer, method: str, path: str,
+                     body: bytes) -> None:
+        if path == "/health" and method == "GET":
+            await self._respond(writer, 200, {
+                "status": "ok", "in_flight": len(self._jobs),
+                "workers": self.workers})
+        elif path == "/cache/stats" and method == "GET":
+            await self._respond(writer, 200, self.cache_stats())
+        elif path == "/cache/gc" and method == "POST":
+            await self._respond(writer, 200, self.cache_gc())
+        elif path == "/submit" and method == "POST":
+            await self._handle_submit(writer, body)
+        elif path in ("/health", "/cache/stats", "/cache/gc", "/submit"):
+            await self._respond(writer, 405,
+                                {"error": f"wrong method for {path}"})
+        else:
+            await self._respond(writer, 404, {"error": f"no route {path!r}"})
+
+    # -- cache administration ----------------------------------------------
+
+    def cache_stats(self) -> dict:
+        from repro.cache import get_artifact_cache
+        return {"results": self.store.stats(),
+                "artifacts": get_artifact_cache().stats(),
+                "server": dict(self.counters)}
+
+    def cache_gc(self) -> dict:
+        from repro.cache import get_artifact_cache
+        return {"results": self.store.gc(),
+                "artifacts": get_artifact_cache().gc()}
+
+    # -- submission --------------------------------------------------------
+
+    async def _handle_submit(self, writer, body: bytes) -> None:
+        try:
+            raw = json.loads(body.decode("utf-8"))
+            canonical = canonicalize_spec(raw)
+        except (ValueError, UnicodeDecodeError) as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        self.counters["submissions"] += 1
+        key = await asyncio.get_running_loop().run_in_executor(
+            None, spec_key, canonical)
+
+        writer.write((
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+
+        cached = self.store.get(key)
+        if cached is not None:
+            self.counters["result_hits"] += 1
+            await self._send_event(writer, {"event": "queued", "key": key,
+                                            "deduped": False})
+            await self._send_event(writer, self._done_event(
+                key, cached, served_from_cache=True))
+            return
+
+        self.counters["result_misses"] += 1
+        job = self._jobs.get(key)
+        deduped = job is not None
+        if deduped:
+            self.counters["deduped"] += 1
+        else:
+            job = _Job(key, canonical)
+            self._jobs[key] = job
+            task = asyncio.get_running_loop().create_task(self._run_job(job))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        queue = job.subscribe()
+        await self._send_event(writer, {"event": "queued", "key": key,
+                                        "deduped": deduped})
+        while True:
+            event = await queue.get()
+            await self._send_event(writer, event)
+            if event["event"] in ("done", "error"):
+                return
+
+    async def _send_event(self, writer, event: dict) -> None:
+        writer.write((json.dumps(event, sort_keys=True) + "\n")
+                     .encode("utf-8"))
+        await writer.drain()
+
+    def _done_event(self, key: str, manifest_bytes: bytes,
+                    served_from_cache: bool, engine_stats=None,
+                    wall_time_s=None) -> dict:
+        # The manifest travels as the parsed form of the *stored*
+        # canonical bytes; re-serializing with canonical_json round-
+        # trips to the identical bytes (floats included), which is the
+        # byte-identity contract the differential tests pin down.
+        return {"event": "done", "key": key,
+                "served_from_cache": served_from_cache,
+                "engine_stats": engine_stats,
+                "wall_time_s": wall_time_s,
+                "manifest": json.loads(manifest_bytes.decode("utf-8"))}
+
+    async def _run_job(self, job: _Job) -> None:
+        """Run one deduplicated simulation and broadcast its events."""
+        loop = asyncio.get_running_loop()
+        progress_dir = self.cache_root / "tmp"
+        progress_dir.mkdir(parents=True, exist_ok=True)
+        progress_path = progress_dir / f"{job.key}.progress"
+        try:
+            async with self._semaphore:
+                self.counters["simulations"] += 1
+                future = loop.run_in_executor(
+                    self._pool, execute_spec, job.canonical,
+                    str(progress_path))
+                offset = 0
+                while True:
+                    done = future.done()
+                    offset = self._pump_progress(job, progress_path, offset)
+                    if done:
+                        break
+                    await asyncio.sleep(self.poll_interval)
+                outcome = future.result()
+        except asyncio.CancelledError:
+            self._jobs.pop(job.key, None)
+            job.broadcast({"event": "error", "key": job.key,
+                           "error_type": "Cancelled",
+                           "message": "server shutting down"})
+            raise
+        except Exception as exc:  # pool died, progress IO, ...
+            self._jobs.pop(job.key, None)
+            self.counters["errors"] += 1
+            job.broadcast({"event": "error", "key": job.key,
+                           "error_type": type(exc).__name__,
+                           "message": str(exc)})
+            return
+        finally:
+            try:
+                progress_path.unlink()
+            except OSError:
+                pass
+        if "error" in outcome:
+            self._jobs.pop(job.key, None)
+            self.counters["errors"] += 1
+            job.broadcast({"event": "error", "key": job.key,
+                           **outcome["error"]})
+            return
+        data = self.store.put(job.key, outcome["manifest"])
+        # No awaits between store, job-table removal, and broadcast:
+        # a submission arriving after this block sees the stored
+        # result; one arriving before it sees the in-flight job.
+        self._jobs.pop(job.key, None)
+        job.broadcast(self._done_event(
+            job.key, data, served_from_cache=False,
+            engine_stats=outcome["engine_stats"],
+            wall_time_s=outcome["wall_time_s"]))
+
+    def _pump_progress(self, job: _Job, path: Path, offset: int) -> int:
+        """Broadcast phase lines the worker appended since ``offset``."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+        except OSError:
+            return offset
+        for line in chunk.splitlines():
+            phase = line.strip()
+            if phase:
+                job.broadcast({"event": "phase", "key": job.key,
+                               "phase": phase})
+        return offset
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8177,
+               cache_root=None, workers: Optional[int] = None) -> None:
+    """Blocking entry point for ``repro serve``."""
+    server = ExperimentServer(
+        host=host, port=port, cache_root=cache_root,
+        workers=workers or max(1, (os.cpu_count() or 2) - 1))
+
+    async def _main() -> None:
+        await server.start()
+        print(f"repro service listening on {server.host}:{server.port} "
+              f"(cache: {server.cache_root}, workers: {server.workers})",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,111 @@
+"""Content-addressed on-disk store of run-manifest bytes.
+
+One entry per result-cache key (:func:`repro.service.spec.spec_key`):
+the canonical JSON text of the volatile-stripped run manifest, stored
+at ``root/results/<key[:2]>/<key>.json``. The stored bytes *are* the
+service's response payload — a cache hit streams them back verbatim,
+which is what makes the byte-identity contract (cache-hit ==
+server-computed == CLI-computed) trivially auditable: there is exactly
+one serialization, :func:`repro.stats.manifest.canonical_json`, applied
+exactly once at :meth:`ResultStore.put`.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer can never leave a truncated entry; unreadable
+entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.stats.manifest import canonical_json, strip_volatile
+
+
+class ResultStore:
+    """Content-addressed manifest store under ``root/results/``."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self._dir = self.root / "results"
+        self.counters = {"hits": 0, "misses": 0, "stores": 0}
+
+    def path_for(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed result key {key!r}")
+        return self._dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The stored manifest bytes for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.counters["misses"] += 1
+            return None
+        try:
+            json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            # Corrupt entry (torn write from an older crash): drop it
+            # and report a miss rather than serve garbage.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.counters["misses"] += 1
+            return None
+        self.counters["hits"] += 1
+        return data
+
+    def put(self, key: str, manifest: dict) -> bytes:
+        """Store ``manifest`` (volatile keys stripped) and return the
+        exact bytes every future hit will serve."""
+        data = canonical_json(strip_volatile(manifest)).encode("utf-8")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        self.counters["stores"] += 1
+        return data
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def _entries(self):
+        if not self._dir.is_dir():
+            return
+        for path in sorted(self._dir.glob("*/*.json")):
+            yield path
+
+    def stats(self) -> dict:
+        """Entry count and on-disk footprint, plus session counters."""
+        n = total = 0
+        for path in self._entries():
+            n += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return {"entries": n, "bytes": total, "root": str(self._dir),
+                **self.counters}
+
+    def gc(self) -> dict:
+        """Delete every stored result; returns what was removed.
+
+        Results are pure caches — everything is regenerable from the
+        spec — so GC is simply "drop them all" (keys already embed the
+        code version, so stale entries die naturally; gc reclaims the
+        disk).
+        """
+        removed = bytes_freed = 0
+        for path in list(self._entries()):
+            try:
+                bytes_freed += path.stat().st_size
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return {"removed": removed, "bytes_freed": bytes_freed}

@@ -1,0 +1,70 @@
+"""Pool-worker entry point: run one canonical spec to a manifest.
+
+Runs inside a ``ProcessPoolExecutor`` worker, so everything it returns
+must pickle and everything it reports while running must cross a
+process boundary. Progress crosses via a *progress file*: the worker
+appends one phase name per line (``preparing``, ``compiling``,
+``simulating``, ``verifying``) and the server's event loop tails the
+file, turning new lines into streamed events. Exceptions are folded
+into an error record instead of raised, so a poisoned spec reports
+cleanly to its subscribers rather than surfacing as a bare
+``BrokenProcessPool``.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Optional
+
+
+def init_worker(cache_root: str) -> None:
+    """Pool initializer: point this worker's artifact cache at the
+    server's cache root so compiled artifacts (kernel descriptions,
+    fabric mappings) persist and are shared across workers."""
+    os.environ["REPRO_CACHE_DIR"] = cache_root
+    from repro.cache import configure_artifact_cache
+    configure_artifact_cache(cache_root)
+
+
+def _phase_reporter(progress_path: Optional[str]):
+    if progress_path is None:
+        return None
+
+    def on_phase(phase: str) -> None:
+        try:
+            with open(progress_path, "a", encoding="utf-8") as fh:
+                fh.write(phase + "\n")
+                fh.flush()
+        except OSError:
+            pass  # progress is best-effort; the run itself must not die
+
+    return on_phase
+
+
+def execute_spec(canonical: dict,
+                 progress_path: Optional[str] = None) -> dict:
+    """Execute one canonical spec; return a picklable outcome dict.
+
+    Success: ``{"manifest": <run manifest>, "engine_stats": {...},
+    "wall_time_s": float}`` — the manifest is the same document the
+    CLI path writes, so the server can store/serve byte-identical
+    results. Failure: ``{"error": {"error_type", "message",
+    "traceback"}}``.
+    """
+    from repro.service.spec import spec_point
+    from repro.harness.sweep import run_point
+    try:
+        point = spec_point(canonical)
+        result = run_point(point, on_phase=_phase_reporter(progress_path))
+        return {
+            "manifest": result.to_manifest(),
+            "engine_stats": dict(getattr(result.raw, "engine_stats", {})),
+            "wall_time_s": result.wall_time_s,
+        }
+    except Exception as exc:
+        return {"error": {
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }}

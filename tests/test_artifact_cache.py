@@ -1,0 +1,271 @@
+"""The compiled-artifact cache: content addressing, reuse, invalidation.
+
+Locks the tentpole properties of :mod:`repro.cache`:
+
+* a repeat compile of an unchanged kernel performs **no split
+  analysis** and a repeat mapping of an unchanged DFG performs **no
+  placement** (hit counters plus raising stubs prove it);
+* any observable edit to a kernel — constant, predicate, init
+  function — changes its fingerprint, so the cache misses instead of
+  serving a stale plan;
+* the disk layer survives process boundaries (modeled as fresh cache
+  instances), tolerates corruption, and namespaces by code version.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import (ArtifactCache, callable_fingerprint,
+                         code_version, dataset_digest, kernel_fingerprint,
+                         mapping_key)
+from repro.cgra import FabricSpec, map_dfg, map_dfg_cached
+from repro.config import FabricConfig
+from repro.frontend.kernel import GraphKernel
+from repro.frontend.kernels import bfs_kernel, cc_kernel, sssp_kernel
+from repro.frontend.lower import compile_kernel
+from repro.ir import DFGBuilder
+
+
+def _fabric():
+    return FabricSpec.from_config(FabricConfig())
+
+
+def _dfg(base=0x1000):
+    b = DFGBuilder("enumerate")
+    e = b.deq("q_start")
+    end = b.deq("q_end")
+    addr = b.lea(b.const(base), e)
+    b.enq("q_ngh", b.load(addr))
+    b.lt(b.add(e, b.const(1)), end)
+    return b.finish()
+
+
+# -- content addressing ----------------------------------------------------
+
+
+class TestFingerprints:
+    def test_kernel_fingerprint_stable_across_builds(self):
+        for factory in (bfs_kernel, cc_kernel, sssp_kernel):
+            assert (kernel_fingerprint(factory())
+                    == kernel_fingerprint(factory())), factory.__name__
+
+    def test_distinct_kernels_distinct_fingerprints(self):
+        prints = {kernel_fingerprint(f())
+                  for f in (bfs_kernel, cc_kernel, sssp_kernel)}
+        assert len(prints) == 3
+
+    def test_editing_a_constant_changes_the_fingerprint(self):
+        def variant(threshold):
+            k = GraphKernel("bfs")
+            k.param("source", 0)
+            dist = k.state("distances", init=lambda g, p: np.full(
+                g.n_vertices, -1, dtype=np.int64), output=True)
+            k.start_from("source", "source")
+            v = k.vertex()
+            start = k.load(k.offsets, v)
+            end = k.load(k.offsets, v + 1)
+            with k.edges(start, end) as e:
+                ngh = k.load(k.neighbors, e)
+                dv = k.load(dist, ngh, owner=True)
+                with k.when(dv < threshold):
+                    k.store(dist, ngh, k.epoch())
+                    k.push(ngh)
+            return k
+
+        assert (kernel_fingerprint(variant(0))
+                != kernel_fingerprint(variant(1)))
+
+    def test_editing_an_init_function_changes_the_fingerprint(self):
+        def variant(fill):
+            k = GraphKernel("bfs")
+
+            def init(graph, params):
+                return np.full(graph.n_vertices, fill, dtype=np.int64)
+
+            k.state("distances", init=init, output=True)
+            k.start_from("all")
+            v = k.vertex()
+            k.load(k.offsets, v)
+            return k
+
+        assert kernel_fingerprint(variant(-1)) != kernel_fingerprint(
+            variant(-2))
+
+    def test_callable_fingerprint_sees_closures(self):
+        def make(n):
+            def fn(x):
+                return x + n
+            return fn
+
+        assert callable_fingerprint(make(1)) != callable_fingerprint(make(2))
+        assert callable_fingerprint(make(3)) == callable_fingerprint(make(3))
+        assert callable_fingerprint(None) is None
+
+    def test_mapping_key_tracks_dfg_and_fabric(self):
+        fabric = _fabric()
+        assert (mapping_key(_dfg(), fabric, None)
+                == mapping_key(_dfg(), fabric, None))
+        assert (mapping_key(_dfg(0x1000), fabric, None)
+                != mapping_key(_dfg(0x2000), fabric, None))
+        small = FabricSpec.from_config(FabricConfig(cols=8))
+        assert (mapping_key(_dfg(), fabric, None)
+                != mapping_key(_dfg(), small, None))
+        assert (mapping_key(_dfg(), fabric, 2)
+                != mapping_key(_dfg(), fabric, None))
+
+    def test_dataset_digest_tracks_coordinates(self):
+        base = dataset_digest("bfs", "Hu", 0.35, 1)
+        assert base == dataset_digest("bfs", "Hu", 0.35, 1)
+        assert base != dataset_digest("bfs", "Hu", 0.35, 2)
+        assert base != dataset_digest("bfs", "Hu", 0.36, 1)
+        assert base != dataset_digest("bfs", "Dy", 0.35, 1)
+        assert base != dataset_digest("cc", "Hu", 0.35, 1)
+
+    def test_code_version_is_stable_hex(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64
+
+
+# -- the two-layer store ---------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_memory_roundtrip_and_counters(self):
+        cache = ArtifactCache()
+        assert cache.get("split_plan", "aa" * 32) is None
+        cache.put("split_plan", "aa" * 32, {"plan": 1})
+        assert cache.get("split_plan", "aa" * 32) == {"plan": 1}
+        assert cache.counters == {"split_plan.miss": 1,
+                                  "split_plan.store": 1,
+                                  "split_plan.hit": 1}
+
+    def test_disk_layer_survives_process_boundary(self, tmp_path):
+        key = "bb" * 32
+        first = ArtifactCache(root=tmp_path)
+        first.put("describe", key, {"stages": [1, 2]})
+        # a new instance models a fresh process: memory empty, disk warm
+        second = ArtifactCache(root=tmp_path)
+        assert second.get("describe", key) == {"stages": [1, 2]}
+        assert second.counters["describe.disk_hit"] == 1
+        # and the entry was promoted into memory
+        assert second.get("describe", key) == {"stages": [1, 2]}
+        assert second.counters["describe.hit"] == 2
+        assert second.counters["describe.disk_hit"] == 1
+
+    def test_split_plans_are_memory_only(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.put("split_plan", "cc" * 32, object())
+        fresh = ArtifactCache(root=tmp_path)
+        assert fresh.get("split_plan", "cc" * 32) is None
+
+    def test_corrupt_disk_entry_is_a_miss_and_removed(self, tmp_path):
+        key = "dd" * 32
+        cache = ArtifactCache(root=tmp_path)
+        cache.put("describe", key, {"ok": True})
+        path = cache._disk_path("describe", key)
+        path.write_bytes(b"{truncated")
+        fresh = ArtifactCache(root=tmp_path)
+        assert fresh.get("describe", key) is None
+        assert fresh.counters["describe.disk_read_error"] == 1
+        assert not path.exists()
+
+    def test_gc_prunes_stale_code_versions(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.put("describe", "ee" * 32, {"v": 1})
+        stale = tmp_path / "artifacts" / ("0" * 16)
+        stale.mkdir(parents=True)
+        (stale / "junk.json").write_text("{}")
+        stats = cache.stats()
+        assert stats["disk"]["stale_versions"] == 1
+        removed = cache.gc()
+        assert removed["removed_dirs"] == 1
+        assert cache.stats()["disk"]["stale_versions"] == 0
+        assert cache.get("describe", "ee" * 32) == {"v": 1}
+        removed = cache.gc(all_versions=True)
+        assert removed["removed_dirs"] == 1
+        assert ArtifactCache(root=tmp_path).get("describe",
+                                                "ee" * 32) is None
+
+
+# -- reuse oracles: no re-analysis, no re-mapping --------------------------
+
+
+class TestCompileReuse:
+    def test_repeat_compile_performs_no_split_analysis(self, monkeypatch):
+        cache = ArtifactCache()
+        compile_kernel(bfs_kernel(), cache=cache)
+        assert cache.counters == {"split_plan.miss": 1,
+                                  "split_plan.store": 1}
+
+        # Stronger than counters: re-analysis would have to call
+        # analyze(), which we now make explosive.
+        def boom(kernel):
+            raise AssertionError("split analysis ran on a warm cache")
+
+        monkeypatch.setattr("repro.frontend.lower.analyze", boom)
+        pipeline = compile_kernel(bfs_kernel(), cache=cache)
+        assert cache.counters["split_plan.hit"] == 1
+        assert pipeline.describe()["feed_forward"] is True
+
+    def test_edited_kernel_reanalyzes(self):
+        cache = ArtifactCache()
+        compile_kernel(bfs_kernel(), cache=cache)
+        compile_kernel(cc_kernel(), cache=cache)
+        assert cache.counters["split_plan.miss"] == 2
+        assert "split_plan.hit" not in cache.counters
+
+    def test_repeat_mapping_performs_no_placement(self, monkeypatch):
+        cache = ArtifactCache()
+        fabric = _fabric()
+        first = map_dfg_cached(_dfg(), fabric, cache=cache)
+        assert cache.counters == {"mapping.miss": 1, "mapping.store": 1}
+
+        def boom(dfg, fabric, max_replication=None):
+            raise AssertionError("placement ran on a warm cache")
+
+        monkeypatch.setattr("repro.cgra.mapper.map_dfg", boom)
+        second = map_dfg_cached(_dfg(), fabric, cache=cache)
+        assert cache.counters["mapping.hit"] == 1
+        assert second is first
+
+    def test_mapping_cache_distinguishes_replication_caps(self):
+        cache = ArtifactCache()
+        fabric = _fabric()
+        map_dfg_cached(_dfg(), fabric, cache=cache)
+        map_dfg_cached(_dfg(), fabric, max_replication=1, cache=cache)
+        assert cache.counters["mapping.miss"] == 2
+
+    def test_cached_mapping_equals_uncached(self):
+        cache = ArtifactCache()
+        fabric = _fabric()
+        cached = map_dfg_cached(_dfg(), fabric, cache=cache)
+        direct = map_dfg(_dfg(), fabric)
+        assert cached.render() == direct.render()
+
+    def test_mapping_persists_across_processes(self, tmp_path):
+        fabric = _fabric()
+        first = ArtifactCache(root=tmp_path)
+        map_dfg_cached(_dfg(), fabric, cache=first)
+        fresh = ArtifactCache(root=tmp_path)
+        map_dfg_cached(_dfg(), fabric, cache=fresh)
+        assert fresh.counters["mapping.disk_hit"] == 1
+
+
+class TestDescribeCached:
+    def test_describe_cached_matches_direct(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.cache import configure_artifact_cache
+        from repro.frontend import describe_cached, get_frontend
+        cache = configure_artifact_cache(tmp_path)
+        try:
+            direct = get_frontend("sssp").describe()
+            assert describe_cached("sssp") == direct
+            assert cache.counters["describe.miss"] == 1
+            assert describe_cached("sssp") == direct
+            assert cache.counters["describe.hit"] == 1
+            # fresh process: served from disk as JSON
+            fresh = configure_artifact_cache(tmp_path)
+            assert describe_cached("sssp") == direct
+            assert fresh.counters["describe.disk_hit"] == 1
+        finally:
+            configure_artifact_cache(None)

@@ -1,0 +1,97 @@
+"""The canonical spec hash: stable, total, and field-sensitive.
+
+``manifest_key`` is the root of every cache identity in the service —
+a collision between distinct specs would serve wrong results, and an
+unstable key would make every lookup miss. These tests pin the
+stability, sensitivity, and failure modes.
+"""
+
+import pytest
+
+from repro.stats.manifest import (CACHE_KEY_SCHEMA_VERSION, canonical_json,
+                                  manifest_key)
+
+_SPEC = {
+    "app": "bfs", "input_code": "Hu", "system": "fifer",
+    "variant": "decoupled", "scale": 0.35, "seed": 1, "engine": "fast",
+    "max_cycles": 2e9, "check": True,
+    "config": {"n_pes": 16, "stage_speedup": []},
+}
+
+
+def test_key_is_hex_sha256():
+    key = manifest_key(_SPEC)
+    assert len(key) == 64
+    assert all(c in "0123456789abcdef" for c in key)
+
+
+def test_stable_across_calls_and_key_order():
+    reordered = dict(reversed(list(_SPEC.items())))
+    assert manifest_key(_SPEC) == manifest_key(reordered)
+    assert manifest_key(_SPEC) == manifest_key(dict(_SPEC))
+
+
+def test_every_field_changes_the_key():
+    base = manifest_key(_SPEC)
+    mutations = {
+        "app": "cc", "input_code": "Dy", "system": "static",
+        "variant": "merged", "scale": 0.36, "seed": 2, "engine": "naive",
+        "max_cycles": 1e9, "check": False,
+        "config": {"n_pes": 8, "stage_speedup": []},
+    }
+    for field, value in mutations.items():
+        mutated = {**_SPEC, field: value}
+        assert manifest_key(mutated) != base, field
+
+
+def test_nested_config_fields_change_the_key():
+    base = manifest_key(_SPEC)
+    mutated = {**_SPEC,
+               "config": {**_SPEC["config"],
+                          "stage_speedup": [["bfs.fetch", 2.0]]}}
+    assert manifest_key(mutated) != base
+
+
+def test_extra_is_a_separate_namespace():
+    base = manifest_key(_SPEC)
+    assert manifest_key(_SPEC, extra={"code": "abc"}) != base
+    assert (manifest_key(_SPEC, extra={"code": "abc"})
+            != manifest_key(_SPEC, extra={"code": "abd"}))
+    # extra cannot be smuggled in as a spec field and collide
+    assert (manifest_key({**_SPEC, "extra": {"code": "abc"}})
+            != manifest_key(_SPEC, extra={"code": "abc"}))
+
+
+def test_tuple_and_list_canonicalize_identically():
+    # JSON has no tuples; both forms serialize to the same text, so a
+    # key computed before a JSON round-trip matches one computed after.
+    with_tuple = {**_SPEC,
+                  "config": {**_SPEC["config"],
+                             "stage_speedup": (("bfs.fetch", 2.0),)}}
+    with_list = {**_SPEC,
+                 "config": {**_SPEC["config"],
+                            "stage_speedup": [["bfs.fetch", 2.0]]}}
+    assert manifest_key(with_tuple) == manifest_key(with_list)
+
+
+def test_rejects_non_dict_and_unserializable():
+    with pytest.raises(TypeError):
+        manifest_key(["not", "a", "dict"])
+    with pytest.raises(TypeError):
+        manifest_key({"fn": object()})
+    with pytest.raises(TypeError):
+        manifest_key({"x": float("nan")})
+
+
+def test_schema_version_is_part_of_the_key():
+    # The key document embeds CACHE_KEY_SCHEMA_VERSION; this test
+    # exists to force a conscious bump review: changing the version
+    # invalidates every stored result by construction.
+    assert CACHE_KEY_SCHEMA_VERSION == 1
+
+
+def test_canonical_json_shape():
+    text = canonical_json({"b": 1, "a": [1.5, True, None]})
+    assert text == '{\n  "a": [\n    1.5,\n    true,\n    null\n  ],\n  "b": 1\n}\n'
+    with pytest.raises(ValueError):
+        canonical_json({"x": float("inf")})
