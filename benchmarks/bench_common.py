@@ -31,17 +31,15 @@ import pathlib
 
 from repro.config import SystemConfig
 from repro.core import ENGINES
+from repro.env import env_choice, env_float, env_int
 from repro.harness import SweepPoint, prepare_input, run_sweep
 from repro.harness.run import APP_INPUTS, default_scale
 
-SCALE_MULT = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "fast")
-if ENGINE not in ENGINES:
-    raise ValueError(
-        f"REPRO_BENCH_ENGINE={ENGINE!r} is not a simulation engine; "
-        f"choose from {ENGINES}")
-WORKERS = (int(os.environ["REPRO_BENCH_WORKERS"])
-           if os.environ.get("REPRO_BENCH_WORKERS") else None)
+# Knobs are validated by repro.env at import, so a typo'd value fails
+# fast with an error naming the knob and its allowed values.
+SCALE_MULT = env_float("REPRO_BENCH_SCALE", 1.0, minimum=0.0)
+ENGINE = env_choice("REPRO_BENCH_ENGINE", "fast", ENGINES)
+WORKERS = env_int("REPRO_BENCH_WORKERS", None, minimum=1)
 RESULTS_DIR = pathlib.Path(
     os.environ.get("REPRO_BENCH_RESULTS_DIR")
     or pathlib.Path(__file__).resolve().parent / "results")
@@ -60,7 +58,7 @@ REPRESENTATIVE = {app: code for app, code in
                   (("bfs", "In"), ("cc", "Hu"), ("prd", "Ci"),
                    ("radii", "Dy"), ("spmm", "FS"), ("silo", "YC"))
                   if app in ALL_APPS}
-_INPUTS_LIMIT = int(os.environ.get("REPRO_BENCH_INPUTS", "0"))
+_INPUTS_LIMIT = env_int("REPRO_BENCH_INPUTS", 0, minimum=0)
 
 
 def app_inputs(app: str):

@@ -8,6 +8,9 @@ cycle- and counter-exact (tests/test_engine_equivalence.py,
 tests/test_engine_fuzz.py), so the only difference is wall time — and
 the *work counts* this benchmark reports alongside it: per-PE quanta
 actually stepped, sleeps/wakes, and quanta slept or jumped over.
+The grid is additionally timed with compiled step-functions
+(``codegen=True``, ``repro.codegen``) on the fast and event engines;
+codegen is equally bit-exact, so its rows land in the same table.
 
 Two regimes are measured, because they answer different questions:
 
@@ -50,16 +53,23 @@ EVENT_PARITY_FLOOR = 0.80
 # ...and must beat the fast engine outright where dead time dominates:
 # jumping the deadlock horizon instead of visiting every quantum.
 EVENT_HORIZON_FLOOR = 2.0
+# Compiled step-functions (codegen=True) versus the interpreted
+# coroutine path on the same build and engine. Same-build gains are
+# bounded by the shared simulation core (DRM transfers, caches); the
+# headline >= 1.5x of docs/performance.md is measured against the
+# pre-codegen baselines in benchmarks/results/history/, which the
+# regression observatory tracks.
+CODEGEN_FLOOR = 1.05
 
 _STAT_KEYS = ("quanta", "pe_quanta", "sleeps", "wakes", "slept_quanta",
               "jumped_quanta")
 
 
-def _timed_sweep(points, engine):
+def _timed_sweep(points, engine, codegen=False):
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; choose from {ENGINES}")
-    pts = [replace(p, engine=engine) for p in points]
+    pts = [replace(p, engine=engine, codegen=codegen) for p in points]
     start = time.perf_counter()
     results = run_sweep(pts, workers=WORKERS)
     return time.perf_counter() - start, results
@@ -128,17 +138,24 @@ def run_engine_speedup():
     timings, results = {}, {}
     for engine in ENGINES:
         timings[engine], results[engine] = _timed_sweep(points, engine)
+    # Compiled step-functions on the two production engines; the naive
+    # reference stays interpreted by definition.
+    for engine in ("fast", "event"):
+        label = f"{engine}+codegen"
+        timings[label], results[label] = _timed_sweep(points, engine,
+                                                      codegen=True)
     reference = [r.cycles for r in results["naive"]]
-    for engine in ENGINES:
-        assert [r.cycles for r in results[engine]] == reference, engine
-    speedup = {engine: timings["naive"] / timings[engine]
-               for engine in ENGINES}
-    counts = {engine: _work_counts(results[engine]) for engine in ENGINES}
+    for label, res in results.items():
+        assert [r.cycles for r in res] == reference, label
+    speedup = {label: timings["naive"] / timings[label]
+               for label in timings}
+    counts = {label: _work_counts(res) for label, res in results.items()}
     rows = []
-    for engine in ("naive", "fast", "event"):
-        c = counts[engine]
+    for label in ("naive", "fast", "event", "fast+codegen",
+                  "event+codegen"):
+        c = counts[label]
         rows.append([
-            engine, f"{timings[engine]:.2f}", f"{speedup[engine]:.2f}x",
+            label, f"{timings[label]:.2f}", f"{speedup[label]:.2f}x",
             f"{c['pe_quanta']}", f"{c['sleeps']}",
             f"{c['slept_quanta']}", f"{c['jumped_quanta']}"])
     grid_table = format_table(
@@ -147,7 +164,8 @@ def run_engine_speedup():
         title=(f"fig13 grid ({len(points)} experiments) end-to-end wall "
                f"time and work counts by simulation engine, same build "
                f"(floors: fast/naive >= {SPEEDUP_FLOOR}x, event/fast >= "
-               f"{EVENT_PARITY_FLOOR}x)"))
+               f"{EVENT_PARITY_FLOOR}x, fast+codegen/fast >= "
+               f"{CODEGEN_FLOOR}x)"))
 
     horizon = {}
     for engine in ENGINES:
@@ -166,11 +184,13 @@ def run_engine_speedup():
 
     emit("engine_speedup", grid_table + "\n\n" + horizon_table)
     return (speedup["fast"], timings["fast"] / timings["event"],
-            horizon["fast"] / horizon["event"])
+            horizon["fast"] / horizon["event"],
+            timings["fast"] / timings["fast+codegen"])
 
 
 def test_engine_speedup(benchmark):
-    fast_speedup, event_vs_fast, horizon_vs_fast = benchmark.pedantic(
+    (fast_speedup, event_vs_fast, horizon_vs_fast,
+     codegen_vs_interp) = benchmark.pedantic(
         run_engine_speedup, rounds=1, iterations=1)
     assert fast_speedup >= SPEEDUP_FLOOR, (
         f"fast engine speedup {fast_speedup:.2f}x is under the "
@@ -182,3 +202,6 @@ def test_engine_speedup(benchmark):
     assert horizon_vs_fast >= EVENT_HORIZON_FLOOR, (
         f"event engine horizon jump at {horizon_vs_fast:.2f}x of fast, "
         f"under the {EVENT_HORIZON_FLOOR}x floor")
+    assert codegen_vs_interp >= CODEGEN_FLOOR, (
+        f"compiled step-functions at {codegen_vs_interp:.2f}x of the "
+        f"interpreted fast engine, under the {CODEGEN_FLOOR}x floor")

@@ -25,6 +25,9 @@ describe   JSON                     the CLI compile description (stage
                                     list, queue graph, per-stage asm)
 mapping    pickle                   :class:`repro.cgra.mapper.Mapping`
                                     keyed by DFG asm + fabric geometry
+codegen    JSON                     generated step-function source
+                                    keyed by the stage shape
+                                    (:mod:`repro.codegen.emit`)
 ========== ======================== ======================================
 
 Per-kind hit/miss/store counters make cache behavior assertable: the
@@ -45,7 +48,7 @@ from typing import Optional
 from repro.cache.content import code_version
 
 #: Kinds persisted to disk and their serialization format.
-_DISK_KINDS = {"describe": "json", "mapping": "pickle"}
+_DISK_KINDS = {"describe": "json", "mapping": "pickle", "codegen": "json"}
 _EXT = {"json": ".json", "pickle": ".pkl"}
 
 

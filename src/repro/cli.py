@@ -59,6 +59,7 @@ import sys
 
 from repro.config import SystemConfig
 from repro.core import ENGINES
+from repro.env import EnvKnobError
 from repro.frontend import FRONTEND_KERNELS, get_frontend
 from repro.harness import (SweepPoint, format_table, run_experiment,
                            run_sweep, speedup_table)
@@ -219,6 +220,20 @@ def cmd_compile(args) -> int:
         raise SystemExit(
             f"no stage {args.stage}; {args.workload} has "
             f"{len(stages)} stages (0..{len(stages) - 1})")
+    if args.emit_python:
+        from repro.frontend import get_frontend
+        records = get_frontend(args.workload).emit_python(stage=args.stage)
+        if args.json:
+            payload = records[0] if args.stage is not None else records
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        for i, rec in enumerate(records):
+            if i:
+                print()
+            print(f"# stage {rec['index']}: {rec['name']} "
+                  f"(role {rec['role']}, codegen key {rec['key'][:12]})")
+            print(rec["source"], end="")
+        return 0
     if args.json:
         payload = (stages[args.stage] if args.stage is not None
                    else description)
@@ -583,6 +598,10 @@ def main(argv=None) -> int:
     p_compile = sub.add_parser(
         "compile", help="split an annotated kernel into its stage pipeline")
     p_compile.add_argument("workload", choices=sorted(FRONTEND_KERNELS))
+    p_compile.add_argument("--emit-python", action="store_true",
+                           help="dump the specialized Python step-function "
+                                "source the codegen backend binds at "
+                                "run(codegen=True)")
     p_compile.add_argument("--stage", type=int, default=None, metavar="N",
                            help="show only stage N (0-based)")
     p_compile.add_argument("--json", action="store_true",
@@ -721,6 +740,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except EnvKnobError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # stdout's reader went away (e.g. `repro cache stats | head`);
         # detach so the interpreter's shutdown flush cannot re-raise.

@@ -1,0 +1,23 @@
+"""DFG-to-Python source-generation backend (closure codegen).
+
+Compiles each decoupled graph-pipeline stage to a flat specialized
+step-function — straight-line Python with the request protocol and
+SIMD cost model inlined and queues/counters bound as locals — selected
+by ``System.run(..., codegen=True)`` or ``REPRO_CODEGEN=1``. Stages
+codegen cannot express fall back to the interpreted coroutine path.
+"""
+
+from repro.codegen.emit import CODEGEN_VERSION, ROLES, StageShape, stage_source
+from repro.codegen.runtime import (bind_stage, bind_system, emitted_count,
+                                   source_for)
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "ROLES",
+    "StageShape",
+    "stage_source",
+    "source_for",
+    "bind_stage",
+    "bind_system",
+    "emitted_count",
+]

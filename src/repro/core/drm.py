@@ -37,7 +37,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.memory.cache import Cache
 from repro.memory.memmap import MemoryMap
-from repro.queues.queue import Queue
+from repro.queues.queue import Queue, Token
 
 
 @dataclass(frozen=True)
@@ -141,7 +141,24 @@ class DRM:
             self._blocked_on = out.name
             return None
         cost = self._access_cost((self._scan_addr,))
-        out.enq(self.memmap.read(self._scan_addr), producer=self.producer_key)
+        # Inlined out.enq — Queue.enq verbatim, minus the full-queue
+        # raise the can_enq gate above already ruled out.
+        producer = self.producer_key
+        words = out.entry_words
+        credits = out._credits
+        if credits is not None:
+            credits[producer] -= words
+        out._tokens.append(Token(self.memmap.read(self._scan_addr), False,
+                                 producer))
+        out._occupancy_words += words
+        out.total_enqueued += 1
+        probe = out.probe
+        if probe is not None and "queue.enq" in probe.bus.wants:
+            probe.emit("queue.enq", queue=out.name, words=words,
+                       occupancy=out._occupancy_words, control=False)
+        ev = out.on_event
+        if ev is not None:
+            ev(out, True)
         if self._mode == "strided":
             self._scan_addr += self._scan_stride
             self._scan_remaining -= 1
@@ -210,8 +227,40 @@ class DRM:
             result = loaded[0]
         else:
             result = loaded + payload
-        self.in_q.deq()
-        out.enq(result, producer=self.producer_key)
+        # Inlined in_q.deq() / out.enq() — Queue.deq / Queue.enq
+        # verbatim (this transfer pair dominates the DRM's per-token
+        # cost). The dequeued head is the data token examined by run(),
+        # so it occupies entry_words; the full-queue raise was ruled
+        # out by the can_enq gate above.
+        in_q = self.in_q
+        tok = in_q._tokens.popleft()
+        words = in_q.entry_words
+        in_q._occupancy_words -= words
+        credits = in_q._credits
+        if credits is not None:
+            credits[tok.producer] += words
+        probe = in_q.probe
+        if probe is not None and "queue.deq" in probe.bus.wants:
+            probe.emit("queue.deq", queue=in_q.name, words=words,
+                       occupancy=in_q._occupancy_words)
+        ev = in_q.on_event
+        if ev is not None:
+            ev(in_q, False)
+        producer = self.producer_key
+        words = out.entry_words
+        credits = out._credits
+        if credits is not None:
+            credits[producer] -= words
+        out._tokens.append(Token(result, False, producer))
+        out._occupancy_words += words
+        out.total_enqueued += 1
+        probe = out.probe
+        if probe is not None and "queue.enq" in probe.bus.wants:
+            probe.emit("queue.enq", queue=out.name, words=words,
+                       occupancy=out._occupancy_words, control=False)
+        ev = out.on_event
+        if ev is not None:
+            ev(out, True)
         return cost
 
     def watch_queue_names(self):
@@ -276,6 +325,146 @@ class DRM:
         """Advance the DRM for up to ``budget`` cycles; returns cycles used."""
         spent = 0.0
         in_q = self.in_q
+        in_tokens = in_q._tokens
+        if self._scan_addr is None and self._mode == "deref" and in_tokens:
+            # Hot path: back-to-back dereferences with every per-token
+            # attribute lookup hoisted. Replays _step_deref exactly
+            # (same per-token float accumulation order); bails to the
+            # general ladder below on control tokens.
+            width = self._width
+            has_payload = self._payload
+            mm = self.memmap
+            read = mm.read
+            route = self._route
+            out_queues = self.out_queues
+            default_out = self._out_q
+            l1 = self.l1
+            access = l1.access
+            l1_sets = l1._sets
+            l1_shift = l1._line_shift
+            l1_mask = l1._set_mask
+            l1_hit_lat = l1._latency
+            l1_latency = self.l1_latency
+            max_out = self.max_outstanding
+            inv_issue = self._inv_issue
+            producer = self.producer_key
+            in_words = in_q.entry_words
+            in_credits = in_q._credits
+            in_name = in_q.name
+            # Stats carried as locals (running totals, so float
+            # accumulation order — and thus rounding — is unchanged);
+            # flushed at every exit from the hot loop.
+            n_loads = self.loads
+            miss_stall = self.miss_stall_cycles
+            while spent < budget and in_tokens:
+                token = in_tokens[0]
+                if token.is_control:
+                    break
+                value = token.value
+                # Loads inline MemoryMap.read's locality-cache fast
+                # path (re-read _last per address: a miss refills it).
+                if width > 1 or has_payload:
+                    parts = tuple(value)
+                    addrs = parts[:width]
+                    payload = parts[width:] if has_payload else ()
+                    if width == 1:
+                        a = addrs[0]
+                        ml = mm._last
+                        loaded = ((ml[4][(a - ml[0]) // ml[2]]
+                                   if ml[0] <= a < ml[1] else read(a)),)
+                    elif width == 2:
+                        a = addrs[0]
+                        ml = mm._last
+                        v0 = (ml[4][(a - ml[0]) // ml[2]]
+                              if ml[0] <= a < ml[1] else read(a))
+                        a = addrs[1]
+                        ml = mm._last
+                        v1 = (ml[4][(a - ml[0]) // ml[2]]
+                              if ml[0] <= a < ml[1] else read(a))
+                        loaded = (v0, v1)
+                    else:
+                        loaded = tuple([read(a) for a in addrs])
+                else:
+                    addrs = (value,)
+                    payload = ()
+                    a = value
+                    ml = mm._last
+                    loaded = ((ml[4][(a - ml[0]) // ml[2]]
+                               if ml[0] <= a < ml[1] else read(a)),)
+                if route is not None:
+                    out = out_queues[route(loaded, payload)]
+                else:
+                    out = default_out
+                # Queue.can_enq's uncredited arm verbatim; credited
+                # targets keep the method (credit_stall probe).
+                if out._credits is None:
+                    ok = (out.capacity_words - out._occupancy_words
+                          >= out.entry_words)
+                else:
+                    ok = out.can_enq(producer)
+                if not ok:
+                    self._blocked_on = out.name
+                    if (self.probe is not None
+                            and "drm.blocked" in self.probe.bus.wants):
+                        self.probe.emit("drm.blocked", drm=self.spec.name,
+                                        pe=self.pe_id, queue=self._blocked_on)
+                    self.loads = n_loads
+                    self.miss_stall_cycles = miss_stall
+                    self.busy_cycles += spent
+                    return spent
+                # Cache.access's L1-hit path verbatim (LRU move-to-MRU
+                # included); misses take the full method.
+                worst = 0.0
+                for addr in addrs:
+                    line = addr >> l1_shift
+                    cset = l1_sets[line & l1_mask]
+                    if line in cset:
+                        l1.hits += 1
+                        cset[line] = cset.pop(line)
+                        latency = l1_hit_lat
+                    else:
+                        latency = access(addr)
+                    if latency > worst:
+                        worst = latency
+                n_loads += len(addrs)
+                over = worst - l1_latency
+                extra = over / max_out if over > 0.0 else 0.0
+                miss_stall += extra
+                cost = inv_issue + extra
+                if len(loaded) == 1 and not has_payload:
+                    result = loaded[0]
+                else:
+                    result = loaded + payload
+                # Inlined in_q.deq() / out.enq() (Queue.deq / Queue.enq
+                # verbatim; the head is the data token just examined).
+                tok = in_tokens.popleft()
+                in_q._occupancy_words -= in_words
+                if in_credits is not None:
+                    in_credits[tok.producer] += in_words
+                probe = in_q.probe
+                if probe is not None and "queue.deq" in probe.bus.wants:
+                    probe.emit("queue.deq", queue=in_name, words=in_words,
+                               occupancy=in_q._occupancy_words)
+                ev = in_q.on_event
+                if ev is not None:
+                    ev(in_q, False)
+                words = out.entry_words
+                credits = out._credits
+                if credits is not None:
+                    credits[producer] -= words
+                out._tokens.append(Token(result, False, producer))
+                out._occupancy_words += words
+                out.total_enqueued += 1
+                probe = out.probe
+                if probe is not None and "queue.enq" in probe.bus.wants:
+                    probe.emit("queue.enq", queue=out.name, words=words,
+                               occupancy=out._occupancy_words, control=False)
+                ev = out.on_event
+                if ev is not None:
+                    ev(out, True)
+                spent += cost
+            self.loads = n_loads
+            self.miss_stall_cycles = miss_stall
         while spent < budget:
             if self._scan_addr is not None:
                 cost = self._step_scan()

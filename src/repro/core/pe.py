@@ -461,7 +461,14 @@ class ProcessingElement:
                                "to": nxt.name})
                     self._begin_reconfiguration(nxt)
                     continue
-            used = self._execute(self.current, remaining)
+            current = self.current
+            step = current.step_fn
+            if step is None:
+                used = self._execute(current, remaining)
+            else:
+                # Codegen path: the specialized step-function replays
+                # _execute's loop with the request protocol inlined.
+                used = step(remaining)
             remaining -= used
             self.now += used
         if remaining < 0:

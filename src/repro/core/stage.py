@@ -51,6 +51,9 @@ class StageSpec:
     dfg: DataflowGraph
     semantics: Callable[["StageContext"], Generator]
     max_replication: Optional[int] = None
+    # Optional (StageShape, bindings) descriptor consumed by
+    # repro.codegen; None means the stage always interprets.
+    codegen: Optional[Any] = None
 
 
 class StageContext:
@@ -123,6 +126,12 @@ class StageInstance:
     # queue-I/O and explicit compute costs. The 1.0 default takes the
     # unscaled code paths so ordinary runs stay bit-identical.
     speed: float = 1.0
+    # Codegen attachment (repro.codegen.runtime.bind_stage): a compiled
+    # step-function replacing the coroutine trampoline, plus its saved
+    # control state (program counter, loop counters, live sub-generator).
+    step_fn: Optional[Callable[[float], float]] = field(default=None,
+                                                       repr=False)
+    cg: Optional[list] = field(default=None, repr=False)
 
     def __post_init__(self):
         self.gen = self.spec.semantics(self.ctx)

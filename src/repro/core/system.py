@@ -24,6 +24,7 @@ from repro.core.events import EventQueue, SleepState, wake_queue_names
 from repro.core.pe import ProcessingElement
 from repro.core.program import Program
 from repro.core.stage import StageContext, StageInstance
+from repro.env import env_flag
 from repro.memory.cache import build_hierarchy
 from repro.queues.queue import Queue
 from repro.queues.queue_memory import QueueMemory
@@ -331,8 +332,15 @@ class System:
         raise SimulationTimeout(self._timeout_report(max_cycles))
 
     def run(self, max_cycles: Optional[float] = None,
-            engine: str = "fast") -> SimulationResult:
+            engine: str = "fast",
+            codegen: Optional[bool] = None) -> SimulationResult:
         """Run the program to completion and return the results.
+
+        ``codegen`` compiles each stage to a specialized step-function
+        (:mod:`repro.codegen`) before running; stages without a codegen
+        descriptor keep the interpreted coroutine path. ``None`` defers
+        to the ``REPRO_CODEGEN`` environment flag. Both paths are
+        bit-identical in cycles, counters, CPI stacks, and results.
 
         ``engine`` selects the simulation loop: ``"fast"`` (default)
         bulk-charges blocked spans and jumps quiescent systems to their
@@ -346,10 +354,27 @@ class System:
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}")
+        if codegen is None:
+            codegen = env_flag("REPRO_CODEGEN")
+        codegen_counts = None
+        if codegen:
+            from repro.codegen.runtime import bind_system
+            codegen_counts = bind_system(self)
+        else:
+            # Drop any step-functions a prior run(codegen=True) on this
+            # System left behind so toggling back re-interprets.
+            for pe in self.pes:
+                for stage in pe.stages:
+                    stage.step_fn = None
         if engine == "event":
             self._run_event(max_cycles)
         else:
             self._run_stepped(max_cycles, fast=(engine == "fast"))
+        if codegen_counts is not None:
+            # Recorded after the run: the engines reset engine_stats.
+            bound, fallback = codegen_counts
+            self.engine_stats["codegen_stages"] = bound
+            self.engine_stats["codegen_fallback"] = fallback
         return self._build_result(engine)
 
     def _build_result(self, engine: str) -> SimulationResult:

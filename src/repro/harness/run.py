@@ -177,13 +177,15 @@ def build_cgra_program(prepared: PreparedInput, config: SystemConfig,
 def simulate_cgra(program, config: SystemConfig, mode: str,
                   engine: str = "fast", max_cycles: float = 2e9,
                   telemetry=None, sanitize: bool = False,
-                  profile: bool = False):
+                  profile: bool = False, codegen: Optional[bool] = None):
     """Simulate phase: instantiate and run one compiled program.
 
     Returns ``(raw, run_profile)`` where ``raw`` is the
     :class:`~repro.core.system.SimulationResult` and ``run_profile``
     the wait-for profile (or ``None``). Deterministic given its
-    inputs; the verify/manifest phases build on the result."""
+    inputs; the verify/manifest phases build on the result.
+    ``codegen`` selects the specialized step-function path
+    (:mod:`repro.codegen`); ``None`` defers to ``REPRO_CODEGEN``."""
     simulator = System(config, program, mode=mode, telemetry=telemetry)
     sanitizer = None
     profiler = None
@@ -195,7 +197,8 @@ def simulate_cgra(program, config: SystemConfig, mode: str,
         from repro.analysis import SimulationSanitizer
         sanitizer = SimulationSanitizer().arm(simulator)
     try:
-        raw = simulator.run(max_cycles=max_cycles, engine=engine)
+        raw = simulator.run(max_cycles=max_cycles, engine=engine,
+                            codegen=codegen)
     finally:
         if sanitizer is not None:
             sanitizer.disarm()
@@ -314,6 +317,7 @@ def run_experiment(app: str, input_code: str, system: str,
                    engine: str = "fast",
                    sanitize: bool = False,
                    profile: bool = False,
+                   codegen: Optional[bool] = None,
                    on_phase=None) -> ExperimentResult:
     """Run one experiment; see module docstring for the system names.
 
@@ -377,7 +381,7 @@ def run_experiment(app: str, input_code: str, system: str,
         raw, run_profile = simulate_cgra(
             program, sys_config, system, engine=engine,
             max_cycles=max_cycles, telemetry=telemetry,
-            sanitize=sanitize, profile=profile)
+            sanitize=sanitize, profile=profile, codegen=codegen)
         energy = energy_model.cgra_energy(raw).as_dict()
         result = raw.result
     wall_time_s = time.perf_counter() - t_start

@@ -52,6 +52,9 @@ class SweepPoint:
     max_cycles: float = 2e9
     check: bool = True
     profile: bool = False
+    #: None defers to the REPRO_CODEGEN environment knob; True/False
+    #: pins compiled step-functions on or off for this point.
+    codegen: Optional[bool] = None
 
     @property
     def label(self) -> str:
@@ -116,7 +119,7 @@ def run_point(point: SweepPoint, on_phase=None) -> ExperimentResult:
                           config=point.config, scale=scale, seed=point.seed,
                           max_cycles=point.max_cycles, check=point.check,
                           engine=point.engine, profile=point.profile,
-                          on_phase=on_phase)
+                          codegen=point.codegen, on_phase=on_phase)
 
 
 def _run_point(point: SweepPoint) -> ExperimentResult:

@@ -5,7 +5,10 @@ generator draws random small :class:`SystemConfig` variations (queue
 depths, PE counts, DRM issue/outstanding limits, memory latency and
 bandwidth, quanta, scheduler policies, stage speed factors) crossed
 with random dataset slices (app, input, scale, seed) and runs the same
-experiment under every engine in :data:`repro.core.ENGINES`. The
+experiment under every engine in :data:`repro.core.ENGINES`, each both
+with the interpreted coroutine path and with compiled step-functions
+(``codegen=True``; stage-speedup draws exercise fractional per-token
+costs through the generated code). The
 property is the differential contract of ``docs/performance.md``: all
 engines produce the *identical* fingerprint — cycle count, per-PE
 counters, CPI stacks, cache/memory statistics, per-queue totals, and
@@ -115,7 +118,8 @@ def _canon(value):
     return value
 
 
-def run_fingerprint(case: dict, engine: str, prepared=None):
+def run_fingerprint(case: dict, engine: str, prepared=None,
+                    codegen: bool = False):
     """Run one engine; return its complete observable fingerprint.
 
     A mid-flight exception *is* the fingerprint for truncated runs: the
@@ -131,7 +135,7 @@ def run_fingerprint(case: dict, engine: str, prepared=None):
         res = run_experiment(case["app"], case["code"], case["mode"],
                              prepared=prepared, config=config,
                              engine=engine, max_cycles=case["max_cycles"],
-                             check=False)
+                             codegen=codegen, check=False)
     except Exception as exc:  # deadlock/timeout/config rejection
         return ("raise", type(exc).__name__, str(exc))
     raw = res.raw
@@ -147,12 +151,21 @@ def run_fingerprint(case: dict, engine: str, prepared=None):
 
 
 def case_fails(case: dict) -> dict | None:
-    """Run all engines; return {engine: fingerprint} on mismatch."""
+    """Run engines x codegen; return {label: fingerprint} on mismatch.
+
+    The property crosses every engine with both execution paths
+    (interpreted coroutines and compiled step-functions): all six
+    fingerprints must be identical, including on truncated runs, where
+    a codegen stage's ``stage.pending`` request must clamp exactly
+    like the interpreter's.
+    """
     prepared = prepare_input(case["app"], case["code"],
                              scale=case["scale"], seed=case["seed"])
-    prints = {engine: run_fingerprint(case, engine, prepared=prepared)
-              for engine in ENGINES}
-    reference = prints["naive"]
+    prints = {f"{engine}/{label}": run_fingerprint(
+                  case, engine, prepared=prepared, codegen=codegen)
+              for engine in ENGINES
+              for label, codegen in (("interp", False), ("codegen", True))}
+    reference = prints["naive/interp"]
     if all(fp == reference for fp in prints.values()):
         return None
     return prints
