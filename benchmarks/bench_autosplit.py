@@ -1,0 +1,58 @@
+"""Auto-decoupling benchmark: inferred splits vs hand markings.
+
+The auto-decoupling analyzer (``repro.analysis.autosplit``,
+docs/analysis.md) must reconstruct every registered kernel's hand
+markings from the unannotated dependence graph — same cuts, same
+owner-routed access, bit-identical ``kernel_fingerprint``. This
+benchmark asserts that parity and records the analyzer's own cost:
+wall time of inference (graph build + detectors + cost model) and of
+the full apply-and-verify round trip (clone, lower, certify), written
+to ``benchmarks/results/autosplit.txt``.
+"""
+
+import time
+
+from bench_common import emit
+from repro.analysis.autosplit import advise_kernel, apply_and_verify
+from repro.frontend.kernels import FRONTEND_KERNELS
+from repro.harness import format_table
+
+
+def run_autosplit():
+    rows, parity = [], {}
+    for name, factory in sorted(FRONTEND_KERNELS.items()):
+        kernel = factory()
+        start = time.perf_counter()
+        advice = advise_kernel(kernel)
+        advise_ms = (time.perf_counter() - start) * 1e3
+        assert advice.matches_hand_marked, name
+
+        start = time.perf_counter()
+        manifest = apply_and_verify(factory())
+        verify_ms = (time.perf_counter() - start) * 1e3
+        assert manifest["fingerprints"]["equal"], name
+        assert manifest["describe"]["equal"], name
+        assert manifest["lint"]["ok"] and manifest["lint"]["certified"], name
+
+        top = advice.candidates[0]
+        parity[name] = (advice.matches_hand_marked,
+                        manifest["fingerprints"]["equal"])
+        rows.append([name, str(len(advice.patterns)),
+                     str(len(advice.candidates)),
+                     f"{top.role} ({top.score:.0f})", "yes",
+                     f"{advise_ms:.2f}", f"{verify_ms:.1f}"])
+    table = format_table(
+        ["kernel", "patterns", "cuts", "top candidate (score)",
+         "matches hand", "advise (ms)", "apply+verify (ms)"],
+        rows,
+        title=("auto-decoupling parity: inferred splits must reproduce "
+               "the hand markings bit-identically (all kernels)"))
+    emit("autosplit", table)
+    return parity
+
+
+def test_autosplit(benchmark):
+    parity = benchmark.pedantic(run_autosplit, rounds=1, iterations=1)
+    assert parity
+    for name, (matches, fp_equal) in parity.items():
+        assert matches and fp_equal, name

@@ -11,6 +11,17 @@ See ``docs/analysis.md`` for the pass catalog.
 
 from repro.analysis.report import (AnalysisError, AnalysisReport,  # noqa: F401
                                    Finding)
+from repro.analysis.depgraph import (Access, DepEdge,  # noqa: F401
+                                     DependenceGraph,
+                                     build_dependence_graph,
+                                     classify_index, clone_kernel,
+                                     strip_annotations)
+from repro.analysis.autosplit import (AutosplitError,  # noqa: F401
+                                      CutCandidate, PatternMatch,
+                                      SplitAdvice, SplitCostModel,
+                                      advise_kernel, apply_and_verify,
+                                      apply_split, detect_patterns,
+                                      infer_split)
 from repro.analysis.graph import (CONTROL_CORE, Channel,  # noqa: F401
                                   ChannelGraph, Endpoint,
                                   build_channel_graph, classify_edge,

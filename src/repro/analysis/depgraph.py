@@ -1,0 +1,424 @@
+"""Whole-kernel dependence graph for the auto-decoupling analyzer.
+
+The front-end's split analysis (:mod:`repro.frontend.split`) trusts the
+author: it cuts the kernel exactly at the ``load()`` markers. This
+module builds the structure a *discopop-style* analyzer needs to stop
+trusting them: the complete dependence graph of one kernel body —
+every data, control, memory-carried, and loop-carried dependence —
+with each memory access classified by its index expression:
+
+* **data** — SSA operand edges (expression arguments, statement
+  inputs, the edge loop's CSR bounds);
+* **control** — ``when()`` predicates guarding statements;
+* **memory** — carried array dependences: a ``store`` to ref *R*
+  reaches every access of *R* (RAW into the loads, WAW between
+  stores). These cross iteration/lane boundaries, so they are marked
+  ``carried``;
+* **loop** — the iteration-level cycle: ``push`` feeds the next
+  iteration's ``vertex()`` fringe.
+
+Each access record carries an ``index_class`` — ``affine`` (a linear
+function of the induction variables: ``offsets[v]``, ``weights[e]``),
+``indirect`` (the index is itself a loaded value: ``dist[ngh]``), or
+``nonaffine`` — and a ``depth``: 1 + the deepest access its index
+transitively depends on, which is exactly the pipeline cut depth the
+paper's split rule assigns (:func:`repro.frontend.lint.compute_levels`
+computes the same quantity for marked loads; the fact is re-derived
+here from the dependence graph alone so the analyzer works on kernels
+with *no* markings at all).
+
+:func:`clone_kernel` and :func:`strip_annotations` rebuild a kernel's
+SSA graph with different split markings — the mechanism by which the
+analyzer's decisions (:mod:`repro.analysis.autosplit`) are applied and
+proven bit-identical to hand annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: Dependence kinds, in the order reports list them.
+DEP_KINDS = ("data", "control", "memory", "loop")
+
+#: Access index classes.
+INDEX_CLASSES = ("affine", "indirect", "nonaffine")
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One dependence: ``src`` must produce before ``dst`` consumes."""
+
+    src: str
+    dst: str
+    dep: str            # one of DEP_KINDS
+    carried: bool       # crosses an iteration or lane boundary
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {"src": self.src, "dst": self.dst, "dep": self.dep,
+                "carried": self.carried, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class Access:
+    """One classified memory access (a load value or a store statement)."""
+
+    node: str           # "v<vid>" or "s<sid>"
+    ref: str
+    mode: str           # "load" | "store"
+    index_class: str    # one of INDEX_CLASSES
+    depth: int          # 1 + deepest access feeding the index
+    owner: bool         # author's owner marking (False when stripped)
+    marked: bool        # author's load() marking (False for access())
+    in_edge_loop: bool
+    mutable_ref: bool
+
+    def as_dict(self) -> dict:
+        return {"node": self.node, "ref": self.ref, "mode": self.mode,
+                "index_class": self.index_class, "depth": self.depth,
+                "owner": self.owner, "marked": self.marked,
+                "in_edge_loop": self.in_edge_loop,
+                "mutable_ref": self.mutable_ref}
+
+
+def _index_loads(expr) -> Iterable:
+    """The loads an index expression *directly* depends on.
+
+    One hop only: a load terminates the walk (its own index belongs to
+    the previous link of the chain). The edge induction variable
+    depends on its CSR bounds, so chains thread through ``edges()``.
+    """
+    if expr.op == "load":
+        yield expr
+        return
+    if expr.op == "edge":
+        for bound in expr.attr:
+            yield from _index_loads(bound)
+        return
+    for arg in expr.args:
+        yield from _index_loads(arg)
+
+
+def _is_const(expr) -> bool:
+    if expr.op == "const":
+        return True
+    if expr.op in ("add", "sub", "mul"):
+        return all(_is_const(a) for a in expr.args)
+    return False
+
+
+def _is_affine(expr) -> bool:
+    """Linear in the induction variables (vertex/edge) and constants."""
+    op = expr.op
+    if op in ("vertex", "edge", "const", "epoch"):
+        return True
+    if op == "load":
+        return False
+    if op in ("add", "sub"):
+        return all(_is_affine(a) for a in expr.args)
+    if op == "mul":
+        return (all(_is_affine(a) for a in expr.args)
+                and any(_is_const(a) for a in expr.args))
+    return False
+
+
+def _direct_loads(expr) -> Iterable:
+    """Loads in the index expression itself (induction vars are leaves).
+
+    Unlike :func:`_index_loads` this does NOT thread through the edge
+    variable's CSR bounds: ``neighbors[e]`` streams an affine range even
+    though the range's *bounds* were loaded. Used for classification
+    only; depth and chain walks use :func:`_index_loads`.
+    """
+    if expr.op == "load":
+        yield expr
+        return
+    if expr.op == "edge":
+        return
+    for arg in expr.args:
+        yield from _direct_loads(arg)
+
+
+def classify_index(expr) -> str:
+    """``affine`` / ``indirect`` / ``nonaffine`` for one index expr."""
+    if any(True for _ in _direct_loads(expr)):
+        return "indirect"
+    return "affine" if _is_affine(expr) else "nonaffine"
+
+
+class DependenceGraph:
+    """The whole-kernel dependence graph of one :class:`GraphKernel`.
+
+    Built by :func:`build_dependence_graph`. Nodes are keyed ``v<vid>``
+    (SSA values) and ``s<sid>`` (statements); edges are
+    :class:`DepEdge` records and accesses :class:`Access` records.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.kernel_name = kernel.name
+        self.nodes: dict = {}
+        self.edges: list = []
+        self.accesses: list = []
+        self._depth: dict = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------
+
+    def _value_key(self, value) -> str:
+        return f"v{value.vid}"
+
+    def _stmt_key(self, stmt) -> str:
+        return f"s{stmt.sid}"
+
+    def _add_edge(self, src: str, dst: str, dep: str, carried: bool,
+                  detail: str) -> None:
+        self.edges.append(DepEdge(src, dst, dep, carried, detail))
+
+    def _load_depth(self, value) -> int:
+        got = self._depth.get(value.vid)
+        if got is not None:
+            return got
+        depth = 1 + max((self._load_depth(l)
+                         for l in _index_loads(value.args[0])), default=0)
+        self._depth[value.vid] = depth
+        return depth
+
+    def _expr_depth(self, expr) -> int:
+        """Deepest access inside ``expr`` (0 when none)."""
+        if expr.op == "load":
+            return self._load_depth(expr)
+        if expr.op == "edge":
+            return max((self._expr_depth(b) for b in expr.attr), default=0)
+        return max((self._expr_depth(a) for a in expr.args), default=0)
+
+    def _build(self) -> None:
+        kernel = self.kernel
+        for value in kernel.values:
+            key = self._value_key(value)
+            self.nodes[key] = {"label": value.label, "op": value.op,
+                               "in_edge_loop": value.in_edge_loop}
+            for arg in value.args:
+                self._add_edge(self._value_key(arg), key, "data", False,
+                               "operand")
+            if value.op == "edge":
+                for bound in value.attr:
+                    self._add_edge(self._value_key(bound), key, "data",
+                                   False, "loop bound")
+            if value.op == "load":
+                self.accesses.append(Access(
+                    node=key, ref=value.attr.ref.name, mode="load",
+                    index_class=classify_index(value.args[0]),
+                    depth=self._load_depth(value),
+                    owner=bool(value.attr.owner),
+                    marked=bool(value.attr.marked),
+                    in_edge_loop=value.in_edge_loop,
+                    mutable_ref=bool(value.attr.ref.mutable)))
+
+        for stmt in kernel.statements:
+            key = self._stmt_key(stmt)
+            self.nodes[key] = {"label": stmt.label, "op": stmt.kind,
+                               "in_edge_loop": stmt.in_edge_loop}
+            if stmt.index is not None:
+                self._add_edge(self._value_key(stmt.index), key, "data",
+                               False, "index")
+            if stmt.value is not None:
+                self._add_edge(self._value_key(stmt.value), key, "data",
+                               False, "value")
+            for pred in stmt.preds:
+                self._add_edge(self._value_key(pred), key, "control",
+                               False, "when() predicate")
+            if stmt.kind == "store":
+                inputs = [e for e in (stmt.index, stmt.value) if e is not None]
+                depth = max((self._expr_depth(e)
+                             for e in inputs + list(stmt.preds)), default=0)
+                self.accesses.append(Access(
+                    node=key, ref=stmt.ref.name, mode="store",
+                    index_class=classify_index(stmt.index),
+                    depth=depth,
+                    owner=False, marked=True,
+                    in_edge_loop=stmt.in_edge_loop,
+                    mutable_ref=bool(stmt.ref.mutable)))
+            elif stmt.kind == "push" and kernel._vertex is not None:
+                # The pushed vertex seeds the next iteration's fringe:
+                # the kernel-level loop-carried dependence.
+                self._add_edge(key, self._value_key(kernel._vertex),
+                               "loop", True, "next-iteration fringe")
+
+        # Memory-carried dependences: a store to R reaches every access
+        # of R. Within one token's straight-line body the stores execute
+        # last (the update stage), so these edges always cross an
+        # iteration or lane boundary: carried.
+        stores = [s for s in kernel.statements if s.kind == "store"]
+        for stmt in stores:
+            skey = self._stmt_key(stmt)
+            for value in kernel.values:
+                if value.op == "load" and value.attr.ref is stmt.ref:
+                    self._add_edge(skey, self._value_key(value), "memory",
+                                   True, f"RAW on {stmt.ref.name!r}")
+            for other in stores:
+                if other is not stmt and other.ref is stmt.ref:
+                    self._add_edge(skey, self._stmt_key(other), "memory",
+                                   True, f"WAW on {stmt.ref.name!r}")
+
+    # -- queries --------------------------------------------------------
+
+    def loads(self) -> list:
+        return [a for a in self.accesses if a.mode == "load"]
+
+    def stores(self) -> list:
+        return [a for a in self.accesses if a.mode == "store"]
+
+    def access_for(self, node: str) -> Optional[Access]:
+        for access in self.accesses:
+            if access.node == node:
+                return access
+        return None
+
+    def edges_of(self, dep: str) -> list:
+        return [e for e in self.edges if e.dep == dep]
+
+    def carried_edges(self) -> list:
+        return [e for e in self.edges if e.carried]
+
+    def value(self, node: str):
+        """The kernel SSA value behind a ``v<vid>`` node key."""
+        if not node.startswith("v"):
+            raise KeyError(node)
+        return self.kernel.values[int(node[1:])]
+
+    def statement(self, node: str):
+        if not node.startswith("s"):
+            raise KeyError(node)
+        return self.kernel.statements[int(node[1:])]
+
+    def indirect_chains(self) -> list:
+        """Maximal load→load chains threaded through index expressions.
+
+        Each returned chain is a list of ``v<vid>`` node keys ordered
+        producer-first: ``offsets[v] → neighbors[e] → dist[ngh]`` is
+        the canonical graph-kernel chain. Chains are the analyzer's
+        primary pipelining signal — every link is a latency boundary a
+        decoupled stage can hide.
+        """
+        values = self.kernel.values
+        load_values = [v for v in values if v.op == "load"]
+        succs: dict = {v.vid: [] for v in load_values}
+        has_pred: dict = {v.vid: False for v in load_values}
+        for v in load_values:
+            for feeder in _index_loads(v.args[0]):
+                succs[feeder.vid].append(v)
+                has_pred[v.vid] = True
+        chains: list = []
+
+        def walk(v, prefix):
+            prefix = prefix + [self._value_key(v)]
+            nexts = succs[v.vid]
+            if not nexts:
+                if len(prefix) > 1:
+                    chains.append(prefix)
+                return
+            for nxt in nexts:
+                walk(nxt, prefix)
+
+        for v in load_values:
+            if not has_pred[v.vid]:
+                walk(v, [])
+        return chains
+
+    def as_dict(self) -> dict:
+        return {
+            "kernel": self.kernel_name,
+            "nodes": {key: dict(info) for key, info in self.nodes.items()},
+            "edges": [e.as_dict() for e in self.edges],
+            "accesses": [a.as_dict() for a in self.accesses],
+            "chains": self.indirect_chains(),
+        }
+
+
+def build_dependence_graph(kernel) -> DependenceGraph:
+    """Construct the whole-kernel dependence graph of ``kernel``."""
+    return DependenceGraph(kernel)
+
+
+# -- kernel rebuilding -----------------------------------------------------
+
+def clone_kernel(kernel, owner_by_vid: Optional[dict] = None,
+                 marked_by_vid: Optional[dict] = None):
+    """Rebuild ``kernel`` with (possibly different) split markings.
+
+    The SSA value list, statement list, declarations, and init
+    closures are replayed in definition order, so the clone's
+    :func:`repro.cache.kernel_fingerprint` is *equal* to the
+    original's whenever the markings agree — the property the
+    auto-decoupling bit-identity proof rests on. ``owner_by_vid`` /
+    ``marked_by_vid`` override the owner/marked flag per load vid;
+    unlisted loads keep their original flags.
+    """
+    from repro.frontend.kernel import (GraphKernel, LoadInfo, Ref,
+                                       Statement, Value)
+    owner_by_vid = owner_by_vid or {}
+    marked_by_vid = marked_by_vid or {}
+
+    clone = GraphKernel(kernel.name, kernel.doc)
+    clone.params = dict(kernel.params)
+    clone.fringe = tuple(kernel.fringe)
+    ref_map = {id(kernel.offsets): clone.offsets,
+               id(kernel.neighbors): clone.neighbors}
+    for ref in kernel.refs:
+        twin = Ref(ref.name, ref.size, ref.mutable, ref.init, ref.output)
+        clone.refs.append(twin)
+        ref_map[id(ref)] = twin
+
+    vmap: dict = {}
+    for value in kernel.values:
+        clone._in_edges = value.in_edge_loop
+        args = tuple(vmap[a.vid] for a in value.args)
+        attr = value.attr
+        if value.op == "load":
+            attr = LoadInfo(
+                ref_map[id(value.attr.ref)],
+                owner=bool(owner_by_vid.get(value.vid, value.attr.owner)),
+                marked=bool(marked_by_vid.get(value.vid,
+                                              value.attr.marked)))
+        elif value.op == "edge":
+            attr = tuple(vmap[b.vid] for b in value.attr)
+        twin = Value(clone, value.op, args, attr)
+        vmap[value.vid] = twin
+        if value.op == "vertex":
+            clone._vertex = twin
+        elif value.op == "epoch":
+            clone._epoch = twin
+        elif value.op == "edge":
+            clone._edge_var = twin
+            clone._edges_defined = True
+
+    for stmt in kernel.statements:
+        clone._in_edges = stmt.in_edge_loop
+        clone._preds = [vmap[p.vid] for p in stmt.preds]
+        Statement(
+            clone, stmt.kind,
+            ref=ref_map[id(stmt.ref)] if stmt.ref is not None else None,
+            index=vmap[stmt.index.vid] if stmt.index is not None else None,
+            value=vmap[stmt.value.vid] if stmt.value is not None else None,
+            dedup=stmt.dedup)
+    clone._in_edges = False
+    clone._preds = []
+    return clone
+
+
+def strip_annotations(kernel):
+    """A copy of ``kernel`` with every split marking removed.
+
+    Every ``load()`` becomes a neutral ``access()`` (``marked=False``,
+    ``owner=False``): the input the analyzer must solve from the
+    dependence graph alone. Used to prove inference is
+    annotation-free — ``infer_split(strip_annotations(k))`` must reach
+    the same decision as ``infer_split(k)``.
+    """
+    loads = [v for v in kernel.values if v.op == "load"]
+    return clone_kernel(
+        kernel,
+        owner_by_vid={v.vid: False for v in loads},
+        marked_by_vid={v.vid: False for v in loads})

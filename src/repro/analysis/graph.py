@@ -16,7 +16,7 @@ from typing import Callable, Hashable, Iterable, Optional
 
 from repro.config import SystemConfig
 from repro.ir.ops import OpKind
-from repro.queues.queue_memory import QueueSpec, plan_capacities
+from repro.queues.queue_memory import plan_capacities
 from repro.analysis.report import Finding
 
 #: Endpoint name used for the control core (iteration dispatch/barrier).

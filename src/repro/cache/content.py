@@ -118,7 +118,8 @@ def _value_entry(value) -> list:
     """Canonical row for one kernel SSA value."""
     attr: object = None
     if value.op == "load":
-        attr = ["load", value.attr.ref.name, bool(value.attr.owner)]
+        attr = ["load", value.attr.ref.name, bool(value.attr.owner),
+                bool(value.attr.marked)]
     elif value.op == "const":
         attr = ["const", repr(value.attr)]
     elif value.op == "edge":

@@ -23,10 +23,22 @@ Commands:
 * ``stats APP INPUT [--json]`` — run one experiment and print its full
   statistics (CPI stack, cache/memory, residence); ``--json`` emits the
   machine-readable run manifest instead.
-* ``lint APP [INPUT] [--json]`` — statically verify a workload's
-  compiled pipeline (queue/deadlock analysis, DFG dataflow passes; see
-  ``docs/analysis.md``) without simulating it. ``lint all`` verifies
-  every registered workload; exits non-zero on any error finding.
+* ``lint APP [INPUT] [--json] [--suggest]`` — statically verify a
+  workload's compiled pipeline (queue/deadlock analysis, DFG dataflow
+  passes; see ``docs/analysis.md``) without simulating it. ``lint
+  all`` verifies every registered workload; exits non-zero on any
+  error finding (including builds that fail outright), zero when the
+  certificate is issued — with or without assumptions. ``--suggest``
+  appends info findings from the auto-decoupling analyzer.
+* ``advise KERNEL [--json] [--apply]`` — run the auto-decoupling
+  analyzer on an annotated kernel: build the whole-kernel dependence
+  graph, detect patterns, rank candidate cut points with the
+  queue-width cost model, and report whether the inferred split
+  matches the hand markings. ``--apply`` rebuilds the kernel with the
+  inferred markings, lowers it through the existing pipeline, and
+  emits the verification manifest (kernel fingerprints, compile
+  description digests, deadlock certificate). ``advise all`` covers
+  every registered kernel.
 * ``report DIR [DIR ...]`` — load run manifests (written by
   ``run_experiment(..., manifest_dir=...)`` or ``stats --manifest-dir``)
   and tabulate cycles, CPI shares, and relative speedups across runs.
@@ -281,7 +293,34 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _suggest_findings(app: str):
+    """Info findings from the auto-decoupling analyzer (``--suggest``)."""
+    from repro.analysis.autosplit import AutosplitError, advise_kernel
+    from repro.analysis.report import Finding
+    if app not in FRONTEND_KERNELS:
+        return [Finding(
+            "info", "autosplit.advise", app,
+            f"{app}: no annotated kernel registered; the auto-decoupling "
+            f"analyzer only advises front-end kernels "
+            f"({', '.join(sorted(FRONTEND_KERNELS))})")]
+    try:
+        advice = advise_kernel(FRONTEND_KERNELS[app]())
+    except AutosplitError as exc:
+        return [Finding("warning", "autosplit.advise", app, str(exc))]
+    top = advice.candidates[0]
+    verdict = ("matches the hand-marked split"
+               if advice.matches_hand_marked
+               else "DIFFERS from the hand-marked split")
+    return [Finding(
+        "info", "autosplit.advise", app,
+        f"{app}: inferred {len(advice.candidates)} cut point(s) from "
+        f"{len(advice.patterns)} dependence pattern(s); top-ranked "
+        f"{top.label} ({top.role}, score {top.score:.0f}); decision "
+        f"{verdict} — see `repro advise {app}`")]
+
+
 def cmd_lint(args) -> int:
+    from repro.analysis.report import AnalysisReport, Finding
     from repro.harness.run import analyze_workload, default_scale
     if args.app == "all":
         if args.input is not None:
@@ -298,9 +337,22 @@ def cmd_lint(args) -> int:
             # The pipeline topology is scale-independent; lint at a
             # small scale so input generation stays fast.
             scale = min(default_scale(app, code), 0.2)
-        reports.append(analyze_workload(
-            app, code, system=args.system, variant=args.variant,
-            scale=scale, seed=args.seed))
+        try:
+            report = analyze_workload(
+                app, code, system=args.system, variant=args.variant,
+                scale=scale, seed=args.seed)
+        except Exception as exc:
+            # Exit-code contract: a workload that cannot even build is
+            # an error finding (exit 1), not a traceback — certificates
+            # with assumptions stay exit 0.
+            report = AnalysisReport(program=f"{app}/{code}",
+                                    mode=args.system)
+            report.findings.append(Finding(
+                "error", "lint.build", f"{app}/{code}",
+                f"{type(exc).__name__}: {exc}"))
+        if args.suggest:
+            report.extend(_suggest_findings(app))
+        reports.append(report)
     if args.json:
         payload = [r.as_dict() for r in reports]
         print(json.dumps(payload[0] if len(payload) == 1 else payload,
@@ -309,6 +361,68 @@ def cmd_lint(args) -> int:
         for report in reports:
             print(report.render())
     return 0 if all(r.ok for r in reports) else 1
+
+
+def cmd_advise(args) -> int:
+    from repro.analysis.autosplit import (AutosplitError, advise_kernel,
+                                          apply_and_verify)
+    names = (sorted(FRONTEND_KERNELS) if args.kernel == "all"
+             else [args.kernel])
+    documents, ok = [], True
+    for name in names:
+        kernel = FRONTEND_KERNELS[name]()
+        try:
+            if args.apply:
+                manifest = apply_and_verify(kernel)
+                good = (manifest["advice"]["matches_hand_marked"]
+                        is not False
+                        and manifest["fingerprints"]["equal"]
+                        and manifest["describe"]["equal"]
+                        and manifest["lint"]["ok"])
+                documents.append(manifest)
+            else:
+                advice = advise_kernel(kernel)
+                good = advice.matches_hand_marked is not False
+                documents.append(advice.as_dict())
+        except AutosplitError as exc:
+            documents.append({"kernel": name, "error": str(exc)})
+            good = False
+        ok = ok and good
+    if args.json:
+        print(json.dumps(documents[0] if len(documents) == 1
+                         else documents, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    for i, document in enumerate(documents):
+        if i:
+            print()
+        if "error" in document:
+            print(f"{document['kernel']}: ERROR {document['error']}")
+            continue
+        if not args.apply:
+            kernel = FRONTEND_KERNELS[document["kernel"]]()
+            print(advise_kernel(kernel).render())
+            continue
+        advice = document["advice"]
+        print(f"{document['kernel']}: auto-split applied and verified")
+        print(f"  decision matches hand-marked: "
+              f"{advice['matches_hand_marked']}")
+        print(f"  kernel fingerprints equal: "
+              f"{document['fingerprints']['equal']}")
+        print(f"  compile descriptions equal: "
+              f"{document['describe']['equal']}")
+        print(f"  deadlock certificate: "
+              f"{'issued' if document['lint']['certified'] else 'NOT ISSUED'}"
+              f" ({len(document['lint']['errors'])} error(s))")
+        rows = [[s["stage"], str(s["nodes"]), str(s["dependence_edges"]),
+                 str(s["reg_carried_edges"]), str(s["max_fanout"]),
+                 str(s["longest_chain"])]
+                for s in document["stage_dataflow"]]
+        print()
+        print(format_table(
+            ["stage", "nodes", "dep edges", "reg-carried", "max fanout",
+             "longest chain"], rows,
+            title="auto-split stage dataflow (DFG dependence queries)"))
+    return 0 if ok else 1
 
 
 def cmd_stats(args) -> int:
@@ -639,7 +753,28 @@ def main(argv=None) -> int:
     p_lint.add_argument("--json", action="store_true",
                         help="emit machine-readable findings and the "
                              "deadlock-freedom certificate")
+    p_lint.add_argument("--suggest", action="store_true",
+                        help="append info findings from the "
+                             "auto-decoupling analyzer (inferred cut "
+                             "points; see `repro advise`)")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_advise = sub.add_parser(
+        "advise",
+        help="infer load-split points from the whole-kernel dependence "
+             "graph (auto-decoupling analyzer)")
+    p_advise.add_argument("kernel",
+                          choices=sorted(FRONTEND_KERNELS) + ["all"],
+                          help="annotated kernel to analyze, or 'all'")
+    p_advise.add_argument("--apply", action="store_true",
+                          help="apply the top-ranked split, lower it "
+                               "through the existing pipeline, and emit "
+                               "the verification manifest (fingerprints, "
+                               "describe digests, deadlock certificate)")
+    p_advise.add_argument("--json", action="store_true",
+                          help="emit the machine-readable advice or "
+                               "apply manifest")
+    p_advise.set_defaults(func=cmd_advise)
 
     p_profile = sub.add_parser(
         "profile", help="wait-for blame matrix, critical path, what-ifs")

@@ -129,13 +129,20 @@ class Value:
 
 
 class LoadInfo:
-    """Attribute payload of a ``load`` value."""
+    """Attribute payload of a ``load`` value.
 
-    __slots__ = ("ref", "owner")
+    ``marked`` distinguishes an author-annotated :meth:`GraphKernel.load`
+    (a decoupling cut point) from a neutral :meth:`GraphKernel.access`
+    the auto-decoupling analyzer (:mod:`repro.analysis.autosplit`) must
+    still classify.
+    """
 
-    def __init__(self, ref: "Ref", owner: bool):
+    __slots__ = ("ref", "owner", "marked")
+
+    def __init__(self, ref: "Ref", owner: bool, marked: bool = True):
         self.ref = ref
         self.owner = owner
+        self.marked = marked
 
 
 class Ref:
@@ -284,6 +291,24 @@ class GraphKernel:
                 f"mutable destination array")
         return Value(self, "load", (index,), LoadInfo(ref, owner))
 
+    def access(self, ref: Ref, index) -> Value:
+        """An *unannotated* memory access: no decoupling decision taken.
+
+        A kernel written entirely with ``access()`` carries no split
+        markings; :func:`repro.analysis.autosplit.infer_split` derives
+        the cut points and owner routing from the whole-kernel
+        dependence graph instead, and ``apply_split`` rewrites the
+        accesses into marked loads. Compiling a kernel that still has
+        unannotated accesses is an error naming this workflow.
+        """
+        if not isinstance(ref, Ref):
+            raise FrontendError(
+                f"access target {ref!r} is not a declared ref")
+        if not isinstance(index, Value):
+            index = self.const(index)
+        return Value(self, "load", (index,),
+                     LoadInfo(ref, owner=False, marked=False))
+
     # -- structure ---------------------------------------------------------
 
     @contextmanager
@@ -335,6 +360,11 @@ class GraphKernel:
 
     def loads(self) -> list[Value]:
         return [v for v in self.values if v.op == "load"]
+
+    def unmarked_accesses(self) -> list[Value]:
+        """Accesses created with :meth:`access` (no split decision yet)."""
+        return [v for v in self.values
+                if v.op == "load" and not v.attr.marked]
 
     def get_ref(self, name: str) -> Ref:
         if name == "offsets":

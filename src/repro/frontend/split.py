@@ -26,8 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.frontend.kernel import (FrontendError, GraphKernel, Statement,
-                                   Value)
+from repro.frontend.kernel import FrontendError, GraphKernel, Value
 from repro.frontend.lint import (check_back_edges, check_edge_escape,
                                  check_feed_forward, compute_edgy,
                                  compute_levels, PipelineLintError)
@@ -50,6 +49,31 @@ class QueueEdge:
         return {"queue": self.queue, "src": self.src, "dst": self.dst,
                 "words": self.words, "control": self.control,
                 "cross_shard": self.cross_shard}
+
+
+def channel_widths(vertex_fetch_words: int,
+                   edge_fetch_words: int) -> dict:
+    """Liveness-derived words-per-token of every skeleton channel.
+
+    The widths fall out of what is live across each cut under the
+    one-payload-word calling convention: ``off`` carries the vertex id,
+    the CSR bounds, and the per-vertex state fetches; ``ngh`` the vertex
+    payload plus the neighbor id and per-edge extras; ``val``/``inbox``
+    the routed neighbor id, the fetched value, and the payload word.
+    Shared by :meth:`StagePlan.queue_graph` and the auto-decoupling
+    cost model (:mod:`repro.analysis.autosplit`) so both price a cut
+    identically.
+    """
+    return {
+        "iter": 1,
+        "fr_in": 2,
+        "fr_out": 1,
+        "off": 3 + vertex_fetch_words,
+        "ngh": 1 + edge_fetch_words,
+        "val": 3,
+        "inbox": 3,
+        "barrier": 2,
+    }
 
 
 @dataclass
@@ -81,22 +105,29 @@ class StagePlan:
 
     def queue_graph(self) -> list:
         """The inter-stage channels with liveness-derived widths."""
-        off_words = 3 + self.vertex_fetch_words
-        ngh_words = 1 + self.edge_fetch_words
+        words = channel_widths(self.vertex_fetch_words,
+                               self.edge_fetch_words)
         return [
-            QueueEdge("iter", "control", "S0:fringe", -1, 0, 1,
-                      control=True),
-            QueueEdge("fr_in", "S0:fringe", "drm_fr", 0, 0, 2),
-            QueueEdge("fr_out", "drm_fr", "S0:fringe", 0, 0, 1),
-            QueueEdge("off_in", "S0:fringe", "drm_off", 0, 0, off_words),
-            QueueEdge("off_out", "drm_off", "S1:enum", 0, 1, off_words),
-            QueueEdge("ngh_in", "S1:enum", "drm_ngh", 1, 1, ngh_words),
-            QueueEdge("ngh_out", "drm_ngh", "S2:fetch", 1, 2, ngh_words),
-            QueueEdge("val_in", "S2:fetch", "drm_val", 2, 2, 3),
-            QueueEdge("inbox", "drm_val", "S3:update", 2, 3, 3,
-                      cross_shard=True),
-            QueueEdge("barrier", "S3:update", "control", 3, 4, 2,
-                      control=True),
+            QueueEdge("iter", "control", "S0:fringe", -1, 0,
+                      words["iter"], control=True),
+            QueueEdge("fr_in", "S0:fringe", "drm_fr", 0, 0,
+                      words["fr_in"]),
+            QueueEdge("fr_out", "drm_fr", "S0:fringe", 0, 0,
+                      words["fr_out"]),
+            QueueEdge("off_in", "S0:fringe", "drm_off", 0, 0,
+                      words["off"]),
+            QueueEdge("off_out", "drm_off", "S1:enum", 0, 1,
+                      words["off"]),
+            QueueEdge("ngh_in", "S1:enum", "drm_ngh", 1, 1,
+                      words["ngh"]),
+            QueueEdge("ngh_out", "drm_ngh", "S2:fetch", 1, 2,
+                      words["ngh"]),
+            QueueEdge("val_in", "S2:fetch", "drm_val", 2, 2,
+                      words["val"]),
+            QueueEdge("inbox", "drm_val", "S3:update", 2, 3,
+                      words["inbox"], cross_shard=True),
+            QueueEdge("barrier", "S3:update", "control", 3, 4,
+                      words["barrier"], control=True),
         ]
 
 
@@ -381,6 +412,15 @@ def _collect_update(kernel: GraphKernel, plan: StagePlan) -> None:
 
 def analyze(kernel: GraphKernel) -> StagePlan:
     """Run the full split analysis; lint; return the stage plan."""
+    unmarked = kernel.unmarked_accesses()
+    if unmarked:
+        raise FrontendError(
+            f"kernel {kernel.name!r}: {unmarked[0].label} is an "
+            f"unannotated access() — no decoupling decision has been "
+            f"taken for it. Run the auto-decoupling analyzer "
+            f"(`repro advise {kernel.name} --apply`, or "
+            f"repro.analysis.autosplit.apply_split) to infer the split "
+            f"markings, or mark it with load() by hand.")
     level = compute_levels(kernel)
     edgy = compute_edgy(kernel)
     check_edge_escape(kernel, edgy)

@@ -110,6 +110,43 @@ class DataflowGraph:
             (consumed if kind == "deq" else produced).add(name)
         return frozenset(consumed), frozenset(produced)
 
+    def iter_dependence_edges(self) -> Iterable[tuple]:
+        """Walk every dependence edge as ``(producer, consumer, kind)``.
+
+        ``kind`` is ``"data"`` for forward operand edges and
+        ``"reg-carried"`` for the loop-carried back-edge into a REG
+        node (the value written this traversal, read the next). This is
+        the per-stage counterpart of the whole-kernel dependence graph
+        (:mod:`repro.analysis.depgraph`): analyses that reason about
+        chains of dependences walk this instead of re-deriving operand
+        structure from node kinds.
+        """
+        for node in self.nodes:
+            kind = "reg-carried" if node.kind is OpKind.REG else "data"
+            for operand in node.operands:
+                yield operand, node, kind
+
+    def consumers(self) -> dict:
+        """Map ``node_id`` -> list of nodes consuming its result.
+
+        REG back-edge consumption is included (kind ``"reg-carried"``
+        in :meth:`iter_dependence_edges`); a node absent from the map
+        is dangling in the :meth:`iter_dangling_nodes` sense unless its
+        kind is a sink.
+        """
+        fanout: dict = {}
+        for producer, consumer, _kind in self.iter_dependence_edges():
+            fanout.setdefault(producer.node_id, []).append(consumer)
+        return fanout
+
+    def longest_dependence_chain(self) -> int:
+        """Length (in edges) of the longest forward data-dependence
+        chain — the stage's dataflow critical path, excluding
+        reg-carried back-edges. Equals ``depth - 1`` on a non-empty
+        graph; exposed as a dependence query so cost models name the
+        quantity they price."""
+        return max(self.depth - 1, 0)
+
     @property
     def n_fma_ops(self) -> int:
         return sum(1 for n in self.nodes if OP_INFO[n.kind].needs_fma)

@@ -22,7 +22,6 @@ self-invalidating across code or generator changes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.config import CacheConfig, FabricConfig, MemoryConfig, SystemConfig
 from repro.harness.run import APP_INPUTS, SYSTEMS, default_scale

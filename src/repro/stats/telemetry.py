@@ -44,7 +44,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from repro.stats.cpi_stack import cpi_stack
 

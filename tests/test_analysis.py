@@ -357,3 +357,81 @@ class TestValidationErrors:
             SystemConfig(max_queues_per_pe=0)
         with pytest.raises(ValueError, match="deadlock_quanta"):
             SystemConfig(deadlock_quanta=0)
+
+
+class TestLintExitCodeContract:
+    """`repro lint` exit codes: nonzero on counterexample/error findings
+    (including builds that fail outright), zero when the certificate is
+    issued — with or without assumptions."""
+
+    @staticmethod
+    def _patch(monkeypatch, outcome):
+        import repro.harness.run as run_mod
+
+        def fake_analyze(app, code, **kwargs):
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(run_mod, "analyze_workload", fake_analyze)
+
+    @staticmethod
+    def _report(findings=(), certified=True):
+        from repro.analysis.report import AnalysisReport, Finding
+        report = AnalysisReport(program="bfs/Hu", mode="fifer")
+        for severity, message in findings:
+            report.findings.append(
+                Finding(severity, "deadlock.sync", "q", message))
+        if certified and report.ok:
+            report.certificate = {
+                "verdict": "deadlock-free",
+                "wait_graph": {"nodes": 2, "edges": 1},
+                "round_trips": [], "sync_channels": [],
+                "assumptions": ["q assumed pure synchronization"],
+            }
+        return report
+
+    def test_zero_on_certify_with_assumptions(self, monkeypatch, capsys):
+        from repro.cli import main
+        self._patch(monkeypatch, self._report(
+            findings=[("warning", "channel assumed pure synchronization")]))
+        assert main(["lint", "bfs"]) == 0
+        assert "deadlock-free" in capsys.readouterr().out
+
+    def test_nonzero_on_error_finding(self, monkeypatch, capsys):
+        from repro.cli import main
+        self._patch(monkeypatch, self._report(
+            findings=[("error", "credit cycle: a -> b -> a")],
+            certified=False))
+        assert main(["lint", "bfs"]) == 1
+        assert "credit cycle" in capsys.readouterr().out
+
+    def test_nonzero_when_build_raises(self, monkeypatch, capsys):
+        from repro.cli import main
+        self._patch(monkeypatch, RuntimeError("queue_mem_bytes too small"))
+        assert main(["lint", "bfs", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert finding["pass"] == "lint.build"
+        assert finding["severity"] == "error"
+        assert "queue_mem_bytes too small" in finding["message"]
+
+    def test_suggest_findings_are_info_only(self, monkeypatch, capsys):
+        from repro.cli import main
+        self._patch(monkeypatch, self._report())
+        assert main(["lint", "bfs", "--suggest", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        advise = [f for f in payload["findings"]
+                  if f["pass"] == "autosplit.advise"]
+        assert advise and advise[0]["severity"] == "info"
+        assert "matches the hand-marked split" in advise[0]["message"]
+
+    def test_suggest_on_non_frontend_app(self, monkeypatch, capsys):
+        from repro.cli import main
+        self._patch(monkeypatch, self._report())
+        assert main(["lint", "silo", "--suggest", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        advise = [f for f in payload["findings"]
+                  if f["pass"] == "autosplit.advise"]
+        assert advise and "no annotated kernel" in advise[0]["message"]

@@ -25,6 +25,7 @@ _REPO = Path(__file__).resolve().parent.parent
 # table1 (analytic), telemetry_overhead (self-timed System runs), and
 # engine_speedup (timed sweeps, provenance would skew timing) do not.
 _BENCHES = [
+    ("bench_autosplit", "run_autosplit", "autosplit", False),
     ("bench_drm_ablation", "run_drm_ablation", "drm_ablation", True),
     ("bench_engine_speedup", "run_engine_speedup", "engine_speedup", False),
     ("bench_fig13_performance", "run_fig13", "fig13_performance", True),
